@@ -1,0 +1,61 @@
+// Proteinsearch: run the PASTIS pipeline — quasi-exact BLOSUM62 seeding
+// plus X-Drop alignment (X=49, gap −2) — over synthetic protein families
+// and recover the family structure.
+package main
+
+import (
+	"fmt"
+
+	"github.com/sram-align/xdropipu"
+	"github.com/sram-align/xdropipu/internal/synth"
+)
+
+func main() {
+	data, labels := synth.ProteinFamilies(synth.ProteinFamiliesSpec{
+		Families:         8,
+		MembersPerFamily: 4,
+		MeanLen:          300,
+		MutRate:          0.18,
+		Seed:             3,
+	})
+	fmt.Printf("%d proteins in %d hidden families\n", len(data.Sequences), 8)
+
+	ipu := &xdropipu.IPUBackend{Cfg: xdropipu.IPUConfig{
+		IPUs:        1,
+		Model:       xdropipu.BOW,
+		TilesPerIPU: 16,
+		Partition:   true,
+		Kernel: xdropipu.KernelConfig{
+			Params:           xdropipu.Params{Scorer: xdropipu.Blosum62, Gap: -2, X: 49, DeltaB: 256},
+			LRSplit:          true,
+			WorkStealing:     true,
+			BusyWaitVariance: true,
+			DualIssue:        true,
+		},
+	}}
+
+	res, err := xdropipu.SearchPASTIS(data.Sequences, xdropipu.PASTISConfig{Backend: ipu})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("candidate pairs: %d, accepted homolog pairs: %d\n",
+		res.OverlapStats.Comparisons, len(res.Pairs))
+	fmt.Printf("alignment phase (modeled): %.3gms\n", res.AlignSeconds*1e3)
+
+	correct, wrong := 0, 0
+	for _, p := range res.Pairs {
+		if labels[p[0]] == labels[p[1]] {
+			correct++
+		} else {
+			wrong++
+		}
+	}
+	fmt.Printf("pair precision: %d right, %d wrong\n", correct, wrong)
+	fams := 0
+	for _, f := range res.Families {
+		if len(f) > 1 {
+			fams++
+		}
+	}
+	fmt.Printf("recovered %d multi-member families\n", fams)
+}

@@ -1,0 +1,100 @@
+package backend
+
+import (
+	"testing"
+
+	"github.com/sram-align/xdropipu/internal/core"
+	"github.com/sram-align/xdropipu/internal/driver"
+	"github.com/sram-align/xdropipu/internal/ipukernel"
+	"github.com/sram-align/xdropipu/internal/platform"
+	"github.com/sram-align/xdropipu/internal/scoring"
+	"github.com/sram-align/xdropipu/internal/synth"
+	"github.com/sram-align/xdropipu/internal/workload"
+)
+
+func testData(t *testing.T) *workload.Dataset {
+	t.Helper()
+	d := synth.UniformPairs(synth.UniformPairsSpec{
+		Count: 12, Length: 600, ErrorRate: 0.1, SeedLen: 17, Seed: 1,
+	})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func ipuBackend(x int) *IPU {
+	return &IPU{Cfg: driver.Config{
+		IPUs: 2, Model: platform.GC200, TilesPerIPU: 8, Partition: true,
+		Kernel: ipukernel.Config{
+			Params:           core.Params{Scorer: scoring.DNADefault, Gap: -1, X: x, DeltaB: 256},
+			LRSplit:          true,
+			WorkStealing:     true,
+			BusyWaitVariance: true,
+			DualIssue:        true,
+		},
+	}}
+}
+
+// TestAllBackendsAgreeOnScores: the executor changes time, never results
+// (IPU and CPU-seqan share the exact same search space).
+func TestAllBackendsAgreeOnScores(t *testing.T) {
+	d := testData(t)
+	x := 10
+	ipu, err := ipuBackend(x).Align(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := (&CPU{Model: platform.EPYC7763, X: x}).Align(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := (&GPU{Model: platform.A100, GPUs: 1, X: x}).Align(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Comparisons {
+		if ipu.Alignments[i] != cpu.Alignments[i] || cpu.Alignments[i] != gpu.Alignments[i] {
+			t.Fatalf("cmp %d: backends disagree: ipu=%+v cpu=%+v gpu=%+v",
+				i, ipu.Alignments[i], cpu.Alignments[i], gpu.Alignments[i])
+		}
+	}
+	for _, o := range []*Outcome{ipu, cpu, gpu} {
+		if o.Seconds <= 0 {
+			t.Errorf("%s reported non-positive time", o.Name)
+		}
+	}
+}
+
+func TestCPUImplSelection(t *testing.T) {
+	d := testData(t)
+	for _, impl := range []CPUImpl{CPUSeqAn, CPUKsw2, CPUGenomeTools, ""} {
+		b := &CPU{Model: platform.EPYC7763, X: 10, Impl: impl}
+		out, err := b.Align(d)
+		if err != nil {
+			t.Fatalf("%s: %v", impl, err)
+		}
+		if len(out.Alignments) != len(d.Comparisons) {
+			t.Fatalf("%s: wrong result count", impl)
+		}
+	}
+	if _, err := (&CPU{Model: platform.EPYC7763, X: 10, Impl: "magic"}).Align(d); err == nil {
+		t.Error("unknown impl accepted")
+	}
+}
+
+func TestGPURejectsProtein(t *testing.T) {
+	d := testData(t)
+	d.Protein = true
+	if _, err := (&GPU{Model: platform.A100, X: 10}).Align(d); err == nil {
+		t.Error("LOGAN backend accepted protein data")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (&CPU{Model: platform.EPYC7763}).Name() == "" ||
+		(&GPU{Model: platform.A100}).Name() == "" ||
+		ipuBackend(5).Name() == "" {
+		t.Error("empty backend name")
+	}
+}

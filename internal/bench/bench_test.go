@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smokeOptions keeps every experiment small enough for unit testing.
+func smokeOptions(buf *bytes.Buffer) Options {
+	return Options{W: buf, Scale: 32, SizeFactor: 0.08, Seed: 7}
+}
+
+// TestExperimentsSmoke runs every registered experiment at miniature size
+// and checks it renders a non-empty table without error.
+func TestExperimentsSmoke(t *testing.T) {
+	for _, r := range Experiments() {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := r.Run(smokeOptions(&buf)); err != nil {
+				t.Fatalf("%s: %v", r.Name, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", r.Name)
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("fig5"); !ok {
+		t.Error("fig5 not registered")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown experiment resolved")
+	}
+}
+
+func TestRunAllPrefixesSections(t *testing.T) {
+	// RunAll on a tiny configuration must emit one header per runner.
+	// Restrict to the cheap experiments by spot-checking headers after a
+	// single representative run instead of the full (expensive) suite.
+	var buf bytes.Buffer
+	opt := smokeOptions(&buf)
+	r, _ := ByName("fig1")
+	if err := r.Run(opt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig. 1") {
+		t.Error("fig1 table missing title")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale != 8 || o.SizeFactor != 1.0 || o.Seed == 0 || o.W == nil {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	if o.n(100) != 100 {
+		t.Error("n() scaling broken")
+	}
+	o.SizeFactor = 0.001
+	if o.n(100) < 1 {
+		t.Error("n() must stay positive")
+	}
+}
+
+func TestStandaloneDatasetsValid(t *testing.T) {
+	opt := Options{Scale: 32, SizeFactor: 0.05, Seed: 3}.withDefaults()
+	for _, d := range opt.StandaloneDatasets() {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+		if len(d.Comparisons) == 0 {
+			t.Errorf("%s has no comparisons", d.Name)
+		}
+	}
+}

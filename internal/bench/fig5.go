@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/sram-align/xdropipu/internal/baselines"
+	"github.com/sram-align/xdropipu/internal/driver"
+	"github.com/sram-align/xdropipu/internal/metrics"
+)
+
+// Fig5 reproduces the headline GCUPS comparison: our IPU implementation
+// versus the SeqAn and ksw2 CPU baselines and the LOGAN GPU baseline, on
+// the four standalone datasets for X ∈ {5, 10, 15, 20}. Per §5.1 the IPU
+// time base is on-device cycles, the GPU's is kernel time and the CPUs'
+// alignment compute.
+func Fig5(opt Options) error {
+	opt = opt.withDefaults()
+	cpuM := opt.cpuModel()
+	gpuM := opt.gpuModel()
+	for _, x := range []int{5, 10, 15, 20} {
+		tab := metrics.NewTable(
+			fmt.Sprintf("Fig. 5 — GCUPS at X=%d (scaled-device values; ×%d ≈ full machines)", x, opt.Scale),
+			"dataset", "ours", "seqan", "ksw2", "logan", "ours/seqan", "ours/logan")
+		for _, d := range opt.StandaloneDatasets() {
+			rep, err := driver.Run(d, opt.driverConfig(x, 1024, 1))
+			if err != nil {
+				return err
+			}
+			ours := rep.GCUPS(rep.DeviceComputeSeconds)
+			seqan := baselines.SeqAn(d, x, cpuM).GCUPS()
+			ksw2 := baselines.Ksw2(d, x, cpuM).GCUPS()
+			logan := baselines.Logan(d, x, gpuM, 1).GCUPS()
+			tab.AddRow(d.Name, ours, seqan, ksw2, logan,
+				metrics.Ratio(ours/seqan), metrics.Ratio(ours/logan))
+		}
+		tab.Render(opt.W)
+	}
+	return nil
+}

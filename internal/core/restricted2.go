@@ -1,0 +1,142 @@
+package core
+
+// Restricted2 runs the paper's memory-restricted X-Drop extension
+// (Algorithm 1). It allocates its own workspace; use
+// (*Workspace).Restricted2 in hot loops.
+func Restricted2(h, v View, p Params) Result {
+	var w Workspace
+	return w.Restricted2(h, v, p)
+}
+
+// Restricted2 is the paper's contribution (§3): an X-Drop extension that
+// stores only two antidiagonals of bounded length δb (2δb scores total
+// instead of Standard3's 3δ).
+//
+// Two ideas compose:
+//
+//  1. Gotoh's observation that two antidiagonals suffice — antidiagonal d
+//     overwrites d−2 in place, carrying the one value that would be
+//     clobbered (the diagonal predecessor) in a scalar (w_last in
+//     Algorithm 1). This is safe because the live lower bound L never
+//     decreases, so writes trail reads.
+//  2. A dynamic working band: the buffers hold only δb cells, and the
+//     window is re-aligned every iteration to the live region. If the
+//     live region would outgrow δb it is clamped around the current
+//     best-scoring cell and Stats.Clamped is set (the paper chooses
+//     δb ≥ δw so this does not trigger on real data; §6.1).
+//
+// DeltaB = 0 (or ≥ δ) reproduces the unrestricted search space exactly.
+func (w *Workspace) Restricted2(h, v View, p Params) Result {
+	m, n := h.Len(), v.Len()
+	delta := minI(m, n) + 1
+	capacity := delta
+	if p.DeltaB > 0 && p.DeltaB < delta {
+		capacity = p.DeltaB
+	}
+	w.b1 = growBuf(w.b1, capacity)
+	w.b2 = growBuf(w.b2, capacity)
+
+	res := Result{Stats: Stats{
+		TheoreticalCells: int64(m) * int64(n),
+		WorkBytes:        2 * capacity * 4,
+	}}
+
+	tab := p.Scorer.Table()
+	gap := p.Gap
+
+	// d1 holds antidiagonal d−1; d2 holds d−2 and is overwritten by d.
+	d1 := adiag{buf: w.b1}
+	d2 := adiag{buf: w.b2}
+	d2.reset()
+	d1.buf[0] = 0
+	d1.cl, d1.cu, d1.lo, d1.hi = 0, 0, 0, 0
+	res.Stats.observe(1, 1)
+
+	best, bestI, bestD := 0, 0, 0
+	rowBestI := 0
+	t := 0
+
+	for d := 1; d <= m+n; d++ {
+		cl := maxI(d1.lo, maxI(0, d-n))
+		cu := minI(d1.hi+1, minI(d, m))
+		if cl > cu {
+			break
+		}
+		if cu-cl+1 > capacity {
+			// Re-align the working window around the best-scoring
+			// cell of the previous antidiagonal (§3: the band is
+			// "constantly realigned to the active iteration
+			// position that stores the best score").
+			res.Stats.Clamped = true
+			ncl := rowBestI - capacity/2
+			if ncl < cl {
+				ncl = cl
+			}
+			if ncl > cu-capacity+1 {
+				ncl = cu - capacity + 1
+			}
+			cl = ncl
+			cu = cl + capacity - 1
+		}
+
+		rowBest := NegInf
+		rowBestI = -1
+		lo, hi := -1, -1
+		out := d2.buf // antidiagonal d overwrites d−2 in place
+		// wlast carries the d−2 value at i−1 (the diagonal
+		// predecessor), which the in-place write would clobber.
+		wlast := d2.at(cl - 1)
+		for i := cl; i <= cu; i++ {
+			j := d - i
+			wnew := d2.at(i) // read before the write below
+			s := NegInf
+			if i > 0 && j > 0 {
+				s = wlast + int(tab[h.At(i-1)][v.At(j-1)])
+			}
+			if i > 0 {
+				if g := d1.at(i-1) + gap; g > s {
+					s = g
+				}
+			}
+			if j > 0 {
+				if g := d1.at(i) + gap; g > s {
+					s = g
+				}
+			}
+			if s < t-p.X {
+				s = NegInf
+			} else {
+				if lo < 0 {
+					lo = i
+				}
+				hi = i
+				if s > rowBest {
+					rowBest, rowBestI = s, i
+				}
+			}
+			out[i-cl] = s
+			wlast = wnew
+		}
+		liveW := 0
+		if lo >= 0 {
+			liveW = hi - lo + 1
+		}
+		res.Stats.observe(cu-cl+1, liveW)
+		if lo < 0 {
+			break
+		}
+		if rowBest > best {
+			best, bestI, bestD = rowBest, rowBestI, d
+		}
+		if rowBest > t {
+			t = rowBest
+		}
+		d2.cl, d2.cu, d2.lo, d2.hi = cl, cu, lo, hi
+		d1, d2 = d2, d1
+	}
+
+	res.Score = best
+	res.EndH = bestI
+	res.EndV = bestD - bestI
+	return res
+}

@@ -1,0 +1,139 @@
+package core
+
+// adiag is one stored antidiagonal: the computed window [cl,cu] lives in
+// buf[0..cu-cl], with cells outside the window implicitly −∞.
+type adiag struct {
+	buf    []int
+	cl, cu int // computed window (inclusive); cu < cl means empty
+	lo, hi int // live (non-pruned) sub-window; hi < lo means none
+}
+
+func (a *adiag) at(i int) int {
+	if i < a.cl || i > a.cu {
+		return NegInf
+	}
+	return a.buf[i-a.cl]
+}
+
+func (a *adiag) reset() {
+	a.cl, a.cu = 0, -1
+	a.lo, a.hi = 0, -1
+}
+
+// Workspace holds reusable DP buffers so a long-lived aligner (one per
+// simulated IPU thread) performs no per-alignment allocation. The zero
+// value is ready to use; buffers grow on demand.
+type Workspace struct {
+	b0, b1, b2             []int
+	e0, e1, f0, f1, h0, h1 []int
+}
+
+func growBuf(b []int, n int) []int {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]int, n)
+}
+
+// Standard3 runs Zhang's three-antidiagonal X-Drop extension. It allocates
+// its own workspace; use (*Workspace).Standard3 in hot loops.
+func Standard3(h, v View, p Params) Result {
+	var w Workspace
+	return w.Standard3(h, v, p)
+}
+
+// Standard3 runs Zhang's three-antidiagonal X-Drop extension using the
+// workspace buffers. Memory footprint is 3δ scores, δ = min(m,n)+1
+// (Fig. 3, left).
+func (w *Workspace) Standard3(h, v View, p Params) Result {
+	m, n := h.Len(), v.Len()
+	delta := minI(m, n) + 1
+	w.b0 = growBuf(w.b0, delta)
+	w.b1 = growBuf(w.b1, delta)
+	w.b2 = growBuf(w.b2, delta)
+
+	res := Result{Stats: Stats{
+		TheoreticalCells: int64(m) * int64(n),
+		WorkBytes:        3 * delta * 4,
+	}}
+
+	tab := p.Scorer.Table()
+	gap := p.Gap
+
+	// d1 holds antidiagonal d−1, d2 holds d−2; cur is written for d.
+	d1 := adiag{buf: w.b1}
+	d2 := adiag{buf: w.b2}
+	cur := adiag{buf: w.b0}
+	d1.reset()
+	d2.reset()
+
+	// Antidiagonal 0 is the single seed cell S(0,0)=0.
+	d1.buf[0] = 0
+	d1.cl, d1.cu, d1.lo, d1.hi = 0, 0, 0, 0
+	res.Stats.observe(1, 1)
+
+	best, bestI, bestD := 0, 0, 0
+	t := 0 // T: best score of previous antidiagonals (prune reference)
+
+	for d := 1; d <= m+n; d++ {
+		cl := maxI(d1.lo, maxI(0, d-n))
+		cu := minI(d1.hi+1, minI(d, m))
+		if cl > cu {
+			break
+		}
+		rowBest, rowBestI := NegInf, -1
+		lo, hi := -1, -1
+		out := cur.buf
+		for i := cl; i <= cu; i++ {
+			j := d - i
+			s := NegInf
+			if i > 0 && j > 0 {
+				s = d2.at(i-1) + int(tab[h.At(i-1)][v.At(j-1)])
+			}
+			if i > 0 {
+				if g := d1.at(i-1) + gap; g > s {
+					s = g
+				}
+			}
+			if j > 0 {
+				if g := d1.at(i) + gap; g > s {
+					s = g
+				}
+			}
+			if s < t-p.X {
+				s = NegInf
+			} else {
+				if lo < 0 {
+					lo = i
+				}
+				hi = i
+				if s > rowBest {
+					rowBest, rowBestI = s, i
+				}
+			}
+			out[i-cl] = s
+		}
+		liveW := 0
+		if lo >= 0 {
+			liveW = hi - lo + 1
+		}
+		res.Stats.observe(cu-cl+1, liveW)
+		if lo < 0 {
+			break
+		}
+		if rowBest > best {
+			best, bestI, bestD = rowBest, rowBestI, d
+		}
+		if rowBest > t {
+			t = rowBest
+		}
+		cur.cl, cur.cu, cur.lo, cur.hi = cl, cu, lo, hi
+		// Rotate: d−2 buffer becomes the next write target.
+		d2, d1, cur = d1, cur, adiag{buf: d2.buf}
+	}
+
+	res.Score = best
+	res.EndH = bestI
+	res.EndV = bestD - bestI
+	return res
+}

@@ -1,0 +1,299 @@
+// Package driver is the host-side wrapping layer of §4.4: it owns the
+// batches, schedules them over multiple standalone IPU devices through a
+// shared work queue, and models the shared 100 Gb/s host link including
+// prefetch overlap (transfers for the next batch proceed while a device
+// computes, as the M2000 DRAM buffering permits).
+//
+// The devices stay hidden from the caller — scaling up is a matter of
+// setting Config.IPUs, exactly like the paper's NUMBER_IPUS parameter
+// (§5.3). Planning (batch construction and kernel execution) is separate
+// from scheduling, so strong-scaling sweeps re-schedule the same plan at
+// many device counts without recomputing alignments.
+package driver
+
+import (
+	"fmt"
+
+	"github.com/sram-align/xdropipu/internal/ipu"
+	"github.com/sram-align/xdropipu/internal/ipukernel"
+	"github.com/sram-align/xdropipu/internal/metrics"
+	"github.com/sram-align/xdropipu/internal/partition"
+	"github.com/sram-align/xdropipu/internal/platform"
+	"github.com/sram-align/xdropipu/internal/workload"
+)
+
+// Config selects the device fleet and execution strategy.
+type Config struct {
+	// IPUs is the device count (NUMBER_IPUS).
+	IPUs int
+	// Model is the IPU generation.
+	Model platform.IPUModel
+	// TilesPerIPU restricts tiles per device (0 = all; Table 1 ablation
+	// and scaled-down experiments).
+	TilesPerIPU int
+	// Kernel configures the on-tile X-Drop codelet.
+	Kernel ipukernel.Config
+	// Partition enables graph-based sequence reuse (§4.3) — the
+	// "Multicomparison" mode of Fig. 7. Disabled, every comparison
+	// travels with its own copy of both sequences.
+	Partition bool
+	// SeqBudget caps a partition's sequence payload in bytes (0 derives
+	// a budget from tile SRAM and the dataset's longest extension).
+	SeqBudget int
+	// SpreadFactor targets this many items per tile so small workloads
+	// still use the whole device (0 → 3).
+	SpreadFactor int
+	// BatchOverheadSeconds is the fixed host-side cost per submitted
+	// batch (graph engagement, stream setup). Defaults to 0.5 ms.
+	BatchOverheadSeconds float64
+	// MaxBatchJobs caps comparisons per batch (0 = SRAM-bound batches).
+	// Finer batches deepen the multi-device work queue.
+	MaxBatchJobs int
+}
+
+// DefaultBatchOverheadSeconds is the modeled per-batch host cost.
+const DefaultBatchOverheadSeconds = 0.5e-3
+
+// Plan is an executed batch schedule: alignments are done, per-batch
+// durations and transfer sizes are known, and the plan can be replayed
+// against any device count.
+type Plan struct {
+	cfg     Config
+	tiles   int
+	results []ipukernel.AlignOut
+	batches []batchTiming
+	// aggregates
+	deviceCompute    float64
+	hostBytesIn      int64
+	hostBytesOut     int64
+	theoretical      int64
+	cells            int64
+	sumBand          int64
+	antidiags        int64
+	races, stealOps  int
+	clamped, maxSRAM int
+	reuseFactor      float64
+}
+
+type batchTiming struct {
+	seconds  float64
+	inBytes  int64
+	outBytes int64
+}
+
+// Report is the outcome of one scheduled run.
+type Report struct {
+	// Results holds one entry per comparison, indexed like the dataset's
+	// comparison list.
+	Results []ipukernel.AlignOut
+	// Batches is the number of BSP supersteps submitted.
+	Batches int
+	// IPUs is the scheduled device count.
+	IPUs int
+	// WallSeconds is the modeled end-to-end time: transfers on the
+	// shared link, compute, result return, with prefetch overlap. This
+	// is the Fig. 7 measure.
+	WallSeconds float64
+	// DeviceComputeSeconds sums on-device compute across batches — the
+	// paper's GCUPS time base for Fig. 5 (§5.1: cycles/f, no transfers).
+	DeviceComputeSeconds float64
+	// TransferSeconds is the total busy time of the shared host link.
+	TransferSeconds float64
+	// HostBytesIn/HostBytesOut count link traffic.
+	HostBytesIn, HostBytesOut int64
+	// TheoreticalCells and Cells aggregate alignment traces.
+	TheoreticalCells, Cells int64
+	// SumBand and Antidiags support mean-live-band reporting.
+	SumBand, Antidiags int64
+	// Races and StealOps aggregate work-stealing behaviour.
+	Races, StealOps int
+	// Clamped counts alignments whose δb window clamped.
+	Clamped int
+	// ReuseFactor is the partitioner's transfer saving (1 = none).
+	ReuseFactor float64
+	// MaxSRAM is the largest tile footprint seen.
+	MaxSRAM int
+}
+
+// GCUPS returns the paper's metric over the chosen time base.
+func (r *Report) GCUPS(seconds float64) float64 {
+	return metrics.GCUPS(r.TheoreticalCells, seconds)
+}
+
+// MeanBand returns the mean computed antidiagonal width.
+func (r *Report) MeanBand() float64 {
+	if r.Antidiags == 0 {
+		return 0
+	}
+	return float64(r.SumBand) / float64(r.Antidiags)
+}
+
+// NewPlan partitions, batches and executes the dataset's comparisons on
+// the modeled device, producing a replayable schedule.
+func NewPlan(d *workload.Dataset, cfg Config) (*Plan, error) {
+	if cfg.IPUs <= 0 {
+		cfg.IPUs = 1
+	}
+	if cfg.Model.Tiles == 0 {
+		cfg.Model = platform.GC200
+	}
+	if cfg.SpreadFactor <= 0 {
+		cfg.SpreadFactor = 3
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	seqBudget := cfg.SeqBudget
+	if seqBudget <= 0 {
+		var err error
+		seqBudget, err = partition.DeriveSeqBudget(d, cfg.Kernel, cfg.Model)
+		if err != nil {
+			return nil, err
+		}
+	}
+	tiles := cfg.TilesPerIPU
+	if tiles <= 0 || tiles > cfg.Model.Tiles {
+		tiles = cfg.Model.Tiles
+	}
+
+	// Cap partition size so the workload spreads over every tile.
+	maxCmps := 0
+	if target := tiles * cfg.SpreadFactor; target > 0 && len(d.Comparisons) > 0 {
+		maxCmps = (len(d.Comparisons) + target - 1) / target
+		if maxCmps < 1 {
+			maxCmps = 1
+		}
+	}
+	items := partition.BuildItems(d, partition.Options{
+		SeqBudget: seqBudget,
+		Reuse:     cfg.Partition,
+		MaxCmps:   maxCmps,
+	})
+	batches, err := partition.MakeBatchesLimit(d, items, tiles, cfg.Kernel, cfg.Model, cfg.MaxBatchJobs)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Plan{
+		cfg:         cfg,
+		tiles:       tiles,
+		results:     make([]ipukernel.AlignOut, len(d.Comparisons)),
+		reuseFactor: partition.ReuseFactor(d, items),
+	}
+	dev := ipu.New(ipu.Config{Model: cfg.Model, TilesEnabled: tiles})
+	for _, b := range batches {
+		res, err := ipukernel.Run(dev, b, cfg.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range res.Out {
+			if o.GlobalID < 0 || o.GlobalID >= len(p.results) {
+				return nil, fmt.Errorf("driver: result for unknown comparison %d", o.GlobalID)
+			}
+			p.results[o.GlobalID] = o
+			if o.Clamped {
+				p.clamped++
+			}
+		}
+		p.batches = append(p.batches, batchTiming{
+			seconds:  res.Seconds,
+			inBytes:  res.HostBytesIn,
+			outBytes: res.HostBytesOut,
+		})
+		p.deviceCompute += res.Seconds
+		p.hostBytesIn += res.HostBytesIn
+		p.hostBytesOut += res.HostBytesOut
+		p.theoretical += res.TheoreticalCells
+		p.cells += res.Cells
+		p.sumBand += res.SumBand
+		p.antidiags += res.Antidiags
+		p.races += res.Races
+		p.stealOps += res.StealOps
+		if res.MaxSRAM > p.maxSRAM {
+			p.maxSRAM = res.MaxSRAM
+		}
+	}
+	return p, nil
+}
+
+// Batches returns the number of supersteps in the plan.
+func (p *Plan) Batches() int { return len(p.batches) }
+
+// Schedule replays the plan on ipus devices sharing one host link and
+// returns the resulting report. Batches are pulled from a shared queue by
+// the earliest-free device; inputs prefetch over the link while devices
+// compute (the M2000 DRAM buffers them, §2.1.1); results return on the
+// link's reverse direction.
+func (p *Plan) Schedule(ipus int) *Report {
+	if ipus <= 0 {
+		ipus = 1
+	}
+	rep := &Report{
+		Results:              p.results,
+		Batches:              len(p.batches),
+		IPUs:                 ipus,
+		DeviceComputeSeconds: p.deviceCompute,
+		HostBytesIn:          p.hostBytesIn,
+		HostBytesOut:         p.hostBytesOut,
+		TheoreticalCells:     p.theoretical,
+		Cells:                p.cells,
+		SumBand:              p.sumBand,
+		Antidiags:            p.antidiags,
+		Races:                p.races,
+		StealOps:             p.stealOps,
+		Clamped:              p.clamped,
+		ReuseFactor:          p.reuseFactor,
+		MaxSRAM:              p.maxSRAM,
+	}
+	overhead := p.cfg.BatchOverheadSeconds
+	if overhead <= 0 {
+		overhead = DefaultBatchOverheadSeconds
+	}
+	ipuFree := make([]float64, ipus)
+	linkInFree, linkOutFree, wall, linkBusy := 0.0, 0.0, 0.0, 0.0
+	linkRate := p.cfg.Model.HostLinkBytesPerSec
+
+	for _, b := range p.batches {
+		dev := 0
+		for i := 1; i < ipus; i++ {
+			if ipuFree[i] < ipuFree[dev] {
+				dev = i
+			}
+		}
+		inTime := overhead + float64(b.inBytes)/linkRate
+		outTime := float64(b.outBytes) / linkRate
+		// Host→device transfers queue FIFO on the link's forward
+		// direction and may run ahead of the device (prefetch).
+		transferEnd := linkInFree + inTime
+		linkInFree = transferEnd
+		computeStart := transferEnd
+		if ipuFree[dev] > computeStart {
+			computeStart = ipuFree[dev]
+		}
+		computeEnd := computeStart + b.seconds
+		ipuFree[dev] = computeEnd
+		// Results return on the reverse direction.
+		outStart := computeEnd
+		if linkOutFree > outStart {
+			outStart = linkOutFree
+		}
+		outEnd := outStart + outTime
+		linkOutFree = outEnd
+		if outEnd > wall {
+			wall = outEnd
+		}
+		linkBusy += inTime + outTime
+	}
+	rep.WallSeconds = wall
+	rep.TransferSeconds = linkBusy
+	return rep
+}
+
+// Run plans and schedules in one step.
+func Run(d *workload.Dataset, cfg Config) (*Report, error) {
+	p, err := NewPlan(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Schedule(cfg.IPUs), nil
+}

@@ -1,0 +1,224 @@
+package elba
+
+import (
+	"sort"
+
+	"github.com/sram-align/xdropipu/internal/workload"
+)
+
+// edge is a directed suffix→prefix overlap: src's suffix matches dst's
+// prefix; following the edge appends dst[splice:] to a walk.
+type edge struct {
+	dst int
+	// splice is the offset on dst where new sequence starts.
+	splice int
+	// wt is the overhang length len(dst)−splice (Myers' edge length).
+	wt int
+	// dropped marks transitively reduced edges.
+	dropped bool
+}
+
+// graph is the assembly string graph (forward strand only).
+type graph struct {
+	adj       [][]edge
+	indeg     []int
+	contained []bool
+}
+
+func newGraph(n int) *graph {
+	return &graph{
+		adj:       make([][]edge, n),
+		indeg:     make([]int, n),
+		contained: make([]bool, n),
+	}
+}
+
+// classify turns an accepted alignment between reads a (H) and b (V) into
+// a containment mark or a directed overlap edge (§2.3 stage four input).
+func (g *graph) classify(a, b int, aln workload.Alignment, lenA, lenB, fuzz int) {
+	aLeft := aln.BegH <= fuzz
+	aRight := lenA-aln.EndH <= fuzz
+	bLeft := aln.BegV <= fuzz
+	bRight := lenB-aln.EndV <= fuzz
+	switch {
+	case bLeft && bRight:
+		// b fully covered: contained in a.
+		g.contained[b] = true
+	case aLeft && aRight:
+		g.contained[a] = true
+	case aRight && bLeft:
+		// a suffix overlaps b prefix: a → b.
+		g.addEdge(a, b, aln.EndV, lenB)
+	case bRight && aLeft:
+		g.addEdge(b, a, aln.EndH, lenA)
+	default:
+		// Internal match (likely a repeat or a chimeric candidate):
+		// not a proper dovetail overlap; discard.
+	}
+}
+
+func (g *graph) addEdge(src, dst, splice, lenDst int) {
+	if src == dst {
+		return
+	}
+	for _, e := range g.adj[src] {
+		if e.dst == dst {
+			return // keep the first (highest-evidence) edge
+		}
+	}
+	g.adj[src] = append(g.adj[src], edge{dst: dst, splice: splice, wt: lenDst - splice})
+	g.indeg[dst]++
+}
+
+func (g *graph) containedCount() int {
+	n := 0
+	for _, c := range g.contained {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// dropContained removes contained reads and every edge touching them.
+func (g *graph) dropContained() {
+	for v := range g.adj {
+		if g.contained[v] {
+			for _, e := range g.adj[v] {
+				if !e.dropped {
+					g.indeg[e.dst]--
+				}
+			}
+			g.adj[v] = nil
+			continue
+		}
+		kept := g.adj[v][:0]
+		for _, e := range g.adj[v] {
+			if g.contained[e.dst] {
+				continue
+			}
+			kept = append(kept, e)
+		}
+		g.adj[v] = kept
+	}
+	// Rebuild in-degrees (simpler than tracking the two loops above).
+	for v := range g.indeg {
+		g.indeg[v] = 0
+	}
+	for v := range g.adj {
+		for _, e := range g.adj[v] {
+			if !e.dropped {
+				g.indeg[e.dst]++
+			}
+		}
+	}
+}
+
+func (g *graph) edgeCount() int {
+	n := 0
+	for _, es := range g.adj {
+		for _, e := range es {
+			if !e.dropped {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// transitiveReduce removes edges v→x when a two-hop path v→w→x of
+// consistent length exists (Myers 2005, with fuzz tolerance) — ELBA's
+// graph simplification stage.
+func (g *graph) transitiveReduce(fuzz int) {
+	for v := range g.adj {
+		sort.Slice(g.adj[v], func(a, b int) bool { return g.adj[v][a].wt < g.adj[v][b].wt })
+	}
+	mark := make(map[int]int) // dst → edge index in adj[v]
+	for v := range g.adj {
+		if len(g.adj[v]) < 2 {
+			continue
+		}
+		clear(mark)
+		longest := g.adj[v][len(g.adj[v])-1].wt + fuzz
+		for i, e := range g.adj[v] {
+			mark[e.dst] = i
+		}
+		for _, e := range g.adj[v] {
+			if e.dropped {
+				continue
+			}
+			for _, f := range g.adj[e.dst] {
+				if f.dropped {
+					continue
+				}
+				total := e.wt + f.wt
+				if total > longest {
+					break // adj sorted by wt: all further are longer
+				}
+				if xi, ok := mark[f.dst]; ok {
+					x := &g.adj[v][xi]
+					if !x.dropped && x.wt >= total-fuzz && x.wt <= total+fuzz {
+						x.dropped = true
+						g.indeg[x.dst]--
+					}
+				}
+			}
+		}
+	}
+}
+
+// liveOut returns non-dropped out-edges of v.
+func (g *graph) liveOut(v int) []edge {
+	var out []edge
+	for _, e := range g.adj[v] {
+		if !e.dropped {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// contigs walks unbranched paths and splices reads into contigs. Every
+// non-contained read is emitted exactly once (singletons become
+// single-read contigs).
+func (g *graph) contigs(reads [][]byte) [][]byte {
+	n := len(g.adj)
+	visited := make([]bool, n)
+	var out [][]byte
+
+	walk := func(start int) {
+		contig := append([]byte{}, reads[start]...)
+		visited[start] = true
+		v := start
+		for {
+			es := g.liveOut(v)
+			if len(es) != 1 {
+				break // dead end or branch (repeat boundary)
+			}
+			next := es[0]
+			if visited[next.dst] || g.indeg[next.dst] != 1 {
+				break // converging path or cycle
+			}
+			if next.splice < len(reads[next.dst]) {
+				contig = append(contig, reads[next.dst][next.splice:]...)
+			}
+			visited[next.dst] = true
+			v = next.dst
+		}
+		out = append(out, contig)
+	}
+
+	// Linear path starts first...
+	for v := 0; v < n; v++ {
+		if !visited[v] && !g.contained[v] && g.indeg[v] == 0 {
+			walk(v)
+		}
+	}
+	// ...then any remaining cycles or converged tangles.
+	for v := 0; v < n; v++ {
+		if !visited[v] && !g.contained[v] {
+			walk(v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+// Package ipu models the Graphcore IPU as an execution substrate (§2.1):
+// a grid of tiles, each with a hard local-SRAM budget and six temporally
+// multiplexed hardware threads, running bulk-synchronous supersteps.
+//
+// The model executes nothing itself — codelets (internal/ipukernel) run
+// the real algorithms in Go and charge per-thread instruction counts; the
+// device converts them to time exactly the way the paper measures it:
+// deterministic cycle counts divided by the clock (§5.1). SRAM limits are
+// enforced, which is what makes the memory-restricted X-Drop algorithm
+// necessary rather than cosmetic.
+package ipu
+
+import (
+	"fmt"
+
+	"github.com/sram-align/xdropipu/internal/platform"
+)
+
+// Config selects the modeled hardware and how much of it to use.
+type Config struct {
+	// Model is the IPU generation (platform.GC200 or platform.BOW).
+	Model platform.IPUModel
+	// TilesEnabled restricts the tile count (ablation rows of Table 1);
+	// zero enables all of them.
+	TilesEnabled int
+	// SyncSeconds is the fixed BSP synchronisation cost per superstep.
+	SyncSeconds float64
+}
+
+// DefaultSyncSeconds is the modeled per-superstep barrier cost.
+const DefaultSyncSeconds = 1.5e-6
+
+// Device is one simulated IPU accumulating BSP supersteps.
+type Device struct {
+	cfg   Config
+	stats Stats
+}
+
+// Stats aggregates a device's modeled activity.
+type Stats struct {
+	// Supersteps counts compute supersteps run.
+	Supersteps int
+	// ComputeSeconds is Σ max-tile compute time (the on-device time the
+	// paper reports for its GCUPS numbers).
+	ComputeSeconds float64
+	// ExchangeSeconds is Σ modeled on-chip exchange time.
+	ExchangeSeconds float64
+	// SyncSeconds is Σ barrier cost.
+	SyncSeconds float64
+	// BusyTileSeconds is Σ over tiles of per-tile compute time; divided
+	// by Supersteps·Tiles·max it yields BSP utilisation.
+	BusyTileSeconds float64
+	// MaxSRAMUsed is the high-water SRAM mark across all tiles.
+	MaxSRAMUsed int
+}
+
+// TotalSeconds is the device-side wall time excluding host transfers.
+func (s Stats) TotalSeconds() float64 {
+	return s.ComputeSeconds + s.ExchangeSeconds + s.SyncSeconds
+}
+
+// New creates a device. A zero TilesEnabled uses every tile.
+func New(cfg Config) *Device {
+	if cfg.TilesEnabled <= 0 || cfg.TilesEnabled > cfg.Model.Tiles {
+		cfg.TilesEnabled = cfg.Model.Tiles
+	}
+	if cfg.SyncSeconds == 0 {
+		cfg.SyncSeconds = DefaultSyncSeconds
+	}
+	return &Device{cfg: cfg}
+}
+
+// Model returns the hardware description.
+func (d *Device) Model() platform.IPUModel { return d.cfg.Model }
+
+// Tiles returns the enabled tile count.
+func (d *Device) Tiles() int { return d.cfg.TilesEnabled }
+
+// DataSRAM returns the per-tile byte budget available to codelet data.
+func (d *Device) DataSRAM() int { return d.cfg.Model.DataSRAM() }
+
+// Stats returns the accumulated device statistics.
+func (d *Device) Stats() Stats { return d.stats }
+
+// Reset clears accumulated statistics.
+func (d *Device) Reset() { d.stats = Stats{} }
+
+// Superstep describes one executed BSP compute phase.
+type Superstep struct {
+	// TileInstr is the per-tile maximum thread instruction count.
+	TileInstr []int64
+	// ExchangeBytes is the data moved over the on-chip exchange during
+	// the following exchange phase (result gather).
+	ExchangeBytes int64
+	// SRAMUsed is the per-tile SRAM high-water mark, if known.
+	SRAMUsed int
+}
+
+// RunSuperstep accounts one BSP superstep and returns its modeled
+// duration. Per the BSP model the compute phase lasts as long as the
+// slowest tile (§2.1.1: "If a single tile takes more time, all other
+// tiles must wait").
+func (d *Device) RunSuperstep(s Superstep) (float64, error) {
+	if len(s.TileInstr) > d.cfg.TilesEnabled {
+		return 0, fmt.Errorf("ipu: superstep uses %d tiles, device has %d enabled",
+			len(s.TileInstr), d.cfg.TilesEnabled)
+	}
+	if s.SRAMUsed > d.cfg.Model.DataSRAM() {
+		return 0, fmt.Errorf("ipu: superstep needs %d B of tile SRAM, budget is %d B",
+			s.SRAMUsed, d.cfg.Model.DataSRAM())
+	}
+	var maxInstr int64
+	for _, ti := range s.TileInstr {
+		if ti > maxInstr {
+			maxInstr = ti
+		}
+		d.stats.BusyTileSeconds += d.cfg.Model.ThreadSeconds(ti)
+	}
+	compute := d.cfg.Model.ThreadSeconds(maxInstr)
+	exchange := float64(s.ExchangeBytes) / d.cfg.Model.ExchangeBytesPerSec
+	d.stats.Supersteps++
+	d.stats.ComputeSeconds += compute
+	d.stats.ExchangeSeconds += exchange
+	d.stats.SyncSeconds += d.cfg.SyncSeconds
+	if s.SRAMUsed > d.stats.MaxSRAMUsed {
+		d.stats.MaxSRAMUsed = s.SRAMUsed
+	}
+	return compute + exchange + d.cfg.SyncSeconds, nil
+}
+
+// HostTransferSeconds models moving n bytes over the host link if this
+// device had the link to itself; the multi-IPU driver arbitrates sharing.
+func (d *Device) HostTransferSeconds(n int64) float64 {
+	return float64(n) / d.cfg.Model.HostLinkBytesPerSec
+}

@@ -1,0 +1,116 @@
+package ipu
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sram-align/xdropipu/internal/platform"
+)
+
+func TestNewDefaults(t *testing.T) {
+	d := New(Config{Model: platform.GC200})
+	if d.Tiles() != 1472 {
+		t.Errorf("Tiles = %d, want 1472", d.Tiles())
+	}
+	if d.DataSRAM() != 624*1024-72*1024 {
+		t.Errorf("DataSRAM = %d", d.DataSRAM())
+	}
+	d = New(Config{Model: platform.GC200, TilesEnabled: 4})
+	if d.Tiles() != 4 {
+		t.Errorf("restricted Tiles = %d, want 4", d.Tiles())
+	}
+	d = New(Config{Model: platform.GC200, TilesEnabled: 99999})
+	if d.Tiles() != 1472 {
+		t.Errorf("over-restricted Tiles = %d, want clamp to 1472", d.Tiles())
+	}
+}
+
+func TestThreadSeconds(t *testing.T) {
+	// One instruction per 6 cycles at 1.33 GHz.
+	got := platform.GC200.ThreadSeconds(1_000_000)
+	want := 6e6 / 1.33e9
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("ThreadSeconds = %g, want %g", got, want)
+	}
+}
+
+func TestRunSuperstepBSPSemantics(t *testing.T) {
+	d := New(Config{Model: platform.GC200, TilesEnabled: 8, SyncSeconds: 1e-6})
+	// The superstep lasts as long as the slowest tile.
+	secs, err := d.RunSuperstep(Superstep{TileInstr: []int64{100, 5000, 300}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCompute := platform.GC200.ThreadSeconds(5000)
+	if math.Abs(secs-(wantCompute+1e-6)) > 1e-12 {
+		t.Errorf("superstep = %g, want %g", secs, wantCompute+1e-6)
+	}
+	st := d.Stats()
+	if st.Supersteps != 1 {
+		t.Errorf("Supersteps = %d", st.Supersteps)
+	}
+	if st.ComputeSeconds != wantCompute {
+		t.Errorf("ComputeSeconds = %g, want %g", st.ComputeSeconds, wantCompute)
+	}
+	wantBusy := platform.GC200.ThreadSeconds(100) + platform.GC200.ThreadSeconds(5000) + platform.GC200.ThreadSeconds(300)
+	if math.Abs(st.BusyTileSeconds-wantBusy) > 1e-15 {
+		t.Errorf("BusyTileSeconds = %g, want %g", st.BusyTileSeconds, wantBusy)
+	}
+}
+
+func TestRunSuperstepRejectsTooManyTiles(t *testing.T) {
+	d := New(Config{Model: platform.GC200, TilesEnabled: 2})
+	if _, err := d.RunSuperstep(Superstep{TileInstr: make([]int64, 3)}); err == nil {
+		t.Error("superstep with too many tiles accepted")
+	}
+}
+
+func TestRunSuperstepRejectsSRAMOverflow(t *testing.T) {
+	d := New(Config{Model: platform.GC200})
+	_, err := d.RunSuperstep(Superstep{TileInstr: []int64{1}, SRAMUsed: 700 * 1024})
+	if err == nil {
+		t.Error("SRAM overflow accepted")
+	}
+}
+
+func TestExchangeAccounting(t *testing.T) {
+	d := New(Config{Model: platform.BOW, SyncSeconds: 0})
+	// SyncSeconds 0 is replaced by the default.
+	_, err := d.RunSuperstep(Superstep{TileInstr: []int64{10}, ExchangeBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	want := float64(1<<30) / 10.9e12
+	if math.Abs(st.ExchangeSeconds-want)/want > 1e-12 {
+		t.Errorf("ExchangeSeconds = %g, want %g", st.ExchangeSeconds, want)
+	}
+	if st.SyncSeconds != DefaultSyncSeconds {
+		t.Errorf("SyncSeconds = %g, want default", st.SyncSeconds)
+	}
+	if st.TotalSeconds() <= st.ComputeSeconds {
+		t.Error("TotalSeconds must include exchange and sync")
+	}
+	d.Reset()
+	if d.Stats() != (Stats{}) {
+		t.Error("Reset did not clear stats")
+	}
+}
+
+func TestHostTransferSeconds(t *testing.T) {
+	d := New(Config{Model: platform.GC200})
+	want := 12.5e9 // bytes/s on a 100 Gb/s link
+	if got := d.HostTransferSeconds(int64(want)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("HostTransferSeconds(link rate) = %g, want 1", got)
+	}
+}
+
+func TestMaxSRAMHighWater(t *testing.T) {
+	d := New(Config{Model: platform.GC200})
+	d.RunSuperstep(Superstep{TileInstr: []int64{1}, SRAMUsed: 1000})
+	d.RunSuperstep(Superstep{TileInstr: []int64{1}, SRAMUsed: 400_000})
+	d.RunSuperstep(Superstep{TileInstr: []int64{1}, SRAMUsed: 2000})
+	if d.Stats().MaxSRAMUsed != 400_000 {
+		t.Errorf("MaxSRAMUsed = %d", d.Stats().MaxSRAMUsed)
+	}
+}

@@ -1,0 +1,219 @@
+package ipukernel
+
+import (
+	"github.com/sram-align/xdropipu/internal/core"
+)
+
+// unit is one schedulable piece of tile work: a whole comparison, or one
+// extension side of it when LR splitting is enabled.
+type unit struct {
+	job  int
+	side int8 // 0 = both sides, 1 = left only, 2 = right only
+}
+
+const (
+	sideBoth  int8 = 0
+	sideLeft  int8 = 1
+	sideRight int8 = 2
+)
+
+type tileResult struct {
+	maxInstr int64
+	races    int
+	steals   int
+	cells    int64
+	theo     int64
+	sumBand  int64
+	antidiag int64
+}
+
+// runTile executes all of a tile's jobs on the configured number of
+// simulated hardware threads and fills out (one slot per job, in order).
+//
+// Scheduling is simulated in deterministic instruction time, mirroring the
+// IPU's deterministic latencies (§4.1.3): whichever thread has the lowest
+// instruction counter acts next. Without work stealing, units are
+// statically assigned round-robin. With work stealing, each thread starts
+// on its statically assigned first unit and then steals from the shared
+// list; steals by threads whose counters collide grab the same unit — a
+// race that duplicates work. Eventual work stealing adds a thread-unique
+// busy-wait on collision so subsequent steals diverge.
+func runTile(t *TileWork, cfg Config, out []AlignOut) tileResult {
+	threads := cfg.Threads
+	var tr tileResult
+
+	for j := range t.Jobs {
+		out[j].GlobalID = t.Jobs[j].GlobalID
+	}
+
+	var units []unit
+	if cfg.LRSplit {
+		units = make([]unit, 0, 2*len(t.Jobs))
+		for j := range t.Jobs {
+			units = append(units, unit{job: j, side: sideLeft}, unit{job: j, side: sideRight})
+		}
+	} else {
+		units = make([]unit, 0, len(t.Jobs))
+		for j := range t.Jobs {
+			units = append(units, unit{job: j, side: sideBoth})
+		}
+	}
+
+	ws := make([]core.Workspace, threads)
+	instr := make([]int64, threads)
+
+	exec := func(th int, u unit) {
+		cost := runUnit(t, cfg, &ws[th], u, out, &tr)
+		instr[th] += cost
+	}
+
+	if !cfg.WorkStealing {
+		for ui, u := range units {
+			exec(ui%threads, u)
+		}
+	} else {
+		next := 0
+		// Eventual work stealing staggers threads with a thread-unique
+		// busy wait so their deterministic counters rarely collide
+		// (§4.1.3); plain racy stealing starts everyone in lockstep.
+		if cfg.BusyWaitVariance {
+			for th := 0; th < threads; th++ {
+				instr[th] += stealJitter(th, -1-th)
+			}
+		}
+		// Static initial assignment: thread th begins with unit th.
+		for th := 0; th < threads && next < len(units); th++ {
+			exec(th, units[next])
+			next++
+		}
+		stealCost := int64(cfg.Cost.StealInstr + 0.5)
+		for next < len(units) {
+			// The thread(s) with the lowest deterministic counter
+			// reach the steal swap first; exact ties race and take
+			// the same unit (§4.1.3).
+			low := instr[0]
+			for th := 1; th < threads; th++ {
+				if instr[th] < low {
+					low = instr[th]
+				}
+			}
+			var tied []int
+			for th := 0; th < threads; th++ {
+				if instr[th] == low {
+					tied = append(tied, th)
+				}
+			}
+			u := units[next]
+			next++
+			for k, th := range tied {
+				instr[th] += stealCost
+				if cfg.BusyWaitVariance {
+					// The thread-unique busy wait makes every
+					// steal take a slightly different, iteration-
+					// dependent time, so counters that once
+					// collided diverge instead of staying in
+					// perpetual lockstep (§4.1.3). A small
+					// deterministic hash stands in for the loop's
+					// timing variance.
+					instr[th] += stealJitter(th, tr.steals)
+				}
+				exec(th, u)
+				tr.steals++
+				if k > 0 {
+					tr.races++
+				}
+			}
+		}
+		// Every thread's final steal attempt finds the list empty.
+		for th := 0; th < threads; th++ {
+			instr[th] += stealCost
+		}
+	}
+
+	for th := 0; th < threads; th++ {
+		if instr[th] > tr.maxInstr {
+			tr.maxInstr = instr[th]
+		}
+	}
+
+	// Combine extension results (seed score bridged between them) and
+	// account theoretical cells once per comparison — duplicated racy
+	// executions must not inflate the GCUPS numerator (§5.1).
+	for j := range t.Jobs {
+		job := &t.Jobs[j]
+		h, v := t.Seqs[job.HLocal], t.Seqs[job.VLocal]
+		seed := core.Seed{H: job.SeedH, V: job.SeedV, Len: job.SeedLen}
+		o := &out[j]
+		o.Score = o.LeftScore + core.SeedScore(h, v, seed, cfg.Params) + o.RightScore
+		tr.theo += int64(len(h)) * int64(len(v))
+	}
+	return tr
+}
+
+// stealJitter is the deterministic per-steal busy-wait duration: a small
+// hash of the thread id and steal ordinal standing in for the busy-wait
+// loop's timing variance (1–1024 instruction bundles, ≈ at most 4.6 µs of
+// thread time — "small" in the paper's sense, §4.1.3, yet wide enough
+// that counter collisions become as rare as the paper's 18 per 1.13 M
+// alignments).
+func stealJitter(th, n int) int64 {
+	x := uint64(th+1)*0x9e3779b97f4a7c15 + uint64(n)*0xbf58476d1ce4e5b9
+	x ^= x >> 31
+	x *= 0x94d049bb133111eb
+	return int64(x>>54) + 1
+}
+
+// runUnit executes one unit's extension(s), records results and traces,
+// and returns the charged instruction cost.
+func runUnit(t *TileWork, cfg Config, ws *core.Workspace, u unit, out []AlignOut, tr *tileResult) int64 {
+	job := &t.Jobs[u.job]
+	h, v := t.Seqs[job.HLocal], t.Seqs[job.VLocal]
+	o := &out[u.job]
+
+	var cost int64
+	doLeft := u.side == sideBoth || u.side == sideLeft
+	doRight := u.side == sideBoth || u.side == sideRight
+
+	if doLeft {
+		r := ws.ExtendLeft(h, v, job.SeedH, job.SeedV, cfg.Params)
+		o.LeftScore = r.Score
+		o.BegH = job.SeedH - r.EndH
+		o.BegV = job.SeedV - r.EndV
+		cost += instrCost(cfg, r.Stats)
+		accumulate(o, tr, r.Stats)
+	}
+	if doRight {
+		r := ws.ExtendRight(h, v, job.SeedH+job.SeedLen, job.SeedV+job.SeedLen, cfg.Params)
+		o.RightScore = r.Score
+		o.EndH = job.SeedH + job.SeedLen + r.EndH
+		o.EndV = job.SeedV + job.SeedLen + r.EndV
+		cost += instrCost(cfg, r.Stats)
+		accumulate(o, tr, r.Stats)
+	}
+	return cost
+}
+
+func accumulate(o *AlignOut, tr *tileResult, s core.Stats) {
+	o.Cells += s.Cells
+	o.Antidiagonals += s.Antidiagonals
+	if s.MaxLiveBand > o.MaxLiveBand {
+		o.MaxLiveBand = s.MaxLiveBand
+	}
+	o.Clamped = o.Clamped || s.Clamped
+	tr.cells += s.Cells
+	tr.sumBand += s.SumComputedBand
+	tr.antidiag += int64(s.Antidiagonals)
+}
+
+// instrCost converts an extension trace into thread-instruction bundles
+// under the calibrated cost model, applying the dual-issue speedup last.
+func instrCost(cfg Config, s core.Stats) int64 {
+	c := cfg.Cost
+	raw := c.InstrPerAlignment +
+		float64(s.Antidiagonals)*c.InstrPerIteration +
+		float64(s.Cells)*c.InstrPerCell
+	if cfg.DualIssue {
+		raw /= c.DualIssueSpeedup
+	}
+	return int64(raw + 0.5)
+}

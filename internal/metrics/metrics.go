@@ -1,0 +1,196 @@
+// Package metrics implements the paper's performance accounting: the GCUPS
+// metric of §5.1 (giga cell-updates per second over the *theoretical*
+// matrix size |H|·|V|, not the cells a heuristic actually computed),
+// percentile statistics for Table 2, and plain-text table rendering for
+// the benchmark harness.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// GCUPS returns the paper's metric: theoretical cells (|H|×|V| summed over
+// all alignments) divided by elapsed seconds, in units of 1e9 cells/s.
+// Heuristics that prune more cells at equal quality therefore score higher.
+func GCUPS(theoreticalCells int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(theoreticalCells) / seconds / 1e9
+}
+
+// Percentile returns the p-th percentile (0–100) of xs using linear
+// interpolation between closest ranks. xs need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// PercentileInts is Percentile over integer samples.
+func PercentileInts(xs []int, p float64) float64 {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Percentile(fs, p)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanInts is Mean over integer samples.
+func MeanInts(xs []int) float64 {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Mean(fs)
+}
+
+// Table accumulates rows of strings and renders them column-aligned, the
+// output format of cmd/benchtables.
+type Table struct {
+	title  string
+	header []string
+	rows   [][]string
+	notes  []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{title: title, header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddNote appends a free-text footnote rendered under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+func formatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render writes the aligned table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.title != "" {
+		fmt.Fprintf(w, "## %s\n\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if pad := widths[i] - len(c); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Ratio renders a speedup factor like "1.35×".
+func Ratio(v float64) string {
+	return fmt.Sprintf("%.2f×", v)
+}
+
+// Percent renders a percentage like "−52.0%".
+func Percent(v float64) string {
+	return fmt.Sprintf("%.1f%%", v)
+}
+
+// Seconds pretty-prints a duration given in seconds with adaptive units.
+func Seconds(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	case s >= 1e-6:
+		return fmt.Sprintf("%.2fµs", s*1e6)
+	default:
+		return fmt.Sprintf("%.0fns", s*1e9)
+	}
+}

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGCUPS(t *testing.T) {
+	if g := GCUPS(2e12, 2.0); math.Abs(g-1000) > 1e-9 {
+		t.Errorf("GCUPS = %f, want 1000", g)
+	}
+	if GCUPS(100, 0) != 0 || GCUPS(100, -1) != 0 {
+		t.Error("non-positive time must yield 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 10}, {50, 5.5}, {10, 1.9}, {90, 9.1},
+	}
+	for _, tc := range tests {
+		if got := Percentile(xs, tc.p); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("P%.0f = %f, want %f", tc.p, got, tc.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+	if Percentile([]float64{7}, 33) != 7 {
+		t.Error("singleton percentile must be the element")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(n uint8, p float64) bool {
+		if n == 0 {
+			return true
+		}
+		xs := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		p = math.Mod(math.Abs(p), 100)
+		got := Percentile(xs, p)
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean broken")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) must be 0")
+	}
+	if MeanInts([]int{2, 4}) != 3 {
+		t.Error("MeanInts broken")
+	}
+	if PercentileInts([]int{1, 2, 3}, 100) != 3 {
+		t.Error("PercentileInts broken")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Demo", "name", "x", "gcups")
+	tab.AddRow("ecoli", 15, 12345.678)
+	tab.AddRow("celegans", 5, 0.5)
+	tab.AddNote("sampled to %d%%", 10)
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"## Demo", "name", "ecoli", "celegans", "12346", "0.500", "note: sampled to 10%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// Header separator line must exist.
+	if !strings.Contains(out, "----") {
+		t.Error("missing separator")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{2.5, "2.50s"},
+		{0.0021, "2.10ms"},
+		{3.4e-6, "3.40µs"},
+		{5e-9, "5ns"},
+	}
+	for _, tc := range tests {
+		if got := Seconds(tc.in); got != tc.want {
+			t.Errorf("Seconds(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

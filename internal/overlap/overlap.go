@@ -1,0 +1,163 @@
+// Package overlap implements the sparse overlap-detection stage shared by
+// ELBA and PASTIS (§2.3, §2.4): sequences become a |seqs|×|k-mers| sparse
+// matrix A of k-mer occurrences, and the candidate comparisons are the
+// nonzeros of A·Aᵀ (quasi-exact ASAᵀ for proteins) that carry at least the
+// required number of shared seeds.
+package overlap
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/sram-align/xdropipu/internal/kmer"
+	"github.com/sram-align/xdropipu/internal/sparse"
+	"github.com/sram-align/xdropipu/internal/workload"
+)
+
+// Candidate is one overlap-matrix nonzero: the shared-seed evidence for a
+// sequence pair.
+type Candidate struct {
+	// Count is the number of shared k-mer occurrences.
+	Count int32
+	// H1, V1 locate the first shared k-mer on each sequence.
+	H1, V1 int32
+	// H2, V2 locate a second distinct shared k-mer (−1 when absent).
+	H2, V2 int32
+}
+
+// Options configures detection.
+type Options struct {
+	// K is the k-mer length (31 for ELBA runs, 17 standalone, 6 PASTIS).
+	K int
+	// MinKmerFreq and MaxKmerFreq bound the reliable k-mer range.
+	MinKmerFreq, MaxKmerFreq int32
+	// MinSharedSeeds is the evidence threshold per pair (both pipelines
+	// use 2, §5.3).
+	MinSharedSeeds int32
+	// Protein selects the amino-acid alphabet.
+	Protein bool
+	// SubstituteMinScore, when positive on protein data, also indexes
+	// single-substitution k-mer neighbours whose BLOSUM62 substitution
+	// scores at least this value — PASTIS's quasi-exact seeding (§2.4).
+	SubstituteMinScore int
+}
+
+// Stats reports detection volume.
+type Stats struct {
+	// TotalKmers and ReliableKmers count distinct k-mers before/after
+	// the frequency filter.
+	TotalKmers, ReliableKmers int
+	// CandidatePairs is the upper-triangle nonzero count before the
+	// shared-seed threshold; Comparisons after.
+	CandidatePairs, Comparisons int
+}
+
+// Detect builds the comparison list for a sequence set. Output order is
+// deterministic (row-major over the overlap matrix).
+func Detect(seqs [][]byte, opt Options) ([]workload.Comparison, Stats, error) {
+	var st Stats
+	if opt.K <= 0 {
+		return nil, st, fmt.Errorf("overlap: K must be positive")
+	}
+	if opt.MinSharedSeeds <= 0 {
+		opt.MinSharedSeeds = 1
+	}
+	count := kmer.CountDNA
+	scan := kmer.ScanDNA
+	if opt.Protein {
+		count = kmer.CountProtein
+		scan = kmer.ScanProtein
+	}
+	counts, err := count(seqs, opt.K)
+	if err != nil {
+		return nil, st, err
+	}
+	st.TotalKmers = len(counts)
+
+	maxF := opt.MaxKmerFreq
+	if maxF <= 0 {
+		maxF = 1 << 30
+	}
+	reliable := counts.Reliable(opt.MinKmerFreq, maxF)
+	st.ReliableKmers = len(reliable)
+	// Deterministic column ids: sort the reliable k-mers.
+	ids := make([]uint64, 0, len(reliable))
+	for km := range reliable {
+		ids = append(ids, km)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for i, km := range ids {
+		reliable[km] = int32(i)
+	}
+
+	// A: seq × k-mer, value = first occurrence position.
+	var triples []sparse.Triple[int32]
+	for si, s := range seqs {
+		emit := func(col int32, pos int32) {
+			triples = append(triples, sparse.Triple[int32]{Row: si, Col: int(col), Val: pos})
+		}
+		err := scan(s, opt.K, func(o kmer.Occurrence) {
+			if col, ok := reliable[o.Kmer]; ok {
+				emit(col, o.Pos)
+			}
+			if opt.Protein && opt.SubstituteMinScore > 0 {
+				kmer.SubstituteNeighbors(o.Kmer, opt.K, opt.SubstituteMinScore, func(nb uint64) {
+					if col, ok := reliable[nb]; ok {
+						emit(col, o.Pos)
+					}
+				})
+			}
+		})
+		if err != nil {
+			return nil, st, err
+		}
+	}
+	keepFirst := func(a, b int32) int32 {
+		if a <= b {
+			return a
+		}
+		return b
+	}
+	a, err := sparse.FromTriples(len(seqs), len(ids), triples, keepFirst)
+	if err != nil {
+		return nil, st, err
+	}
+	at := sparse.Transpose(a)
+
+	// C = A·Aᵀ with the shared-seed semiring.
+	c, err := sparse.SpGEMM(a, at, sparse.Semiring[int32, int32, Candidate]{
+		Mult: func(hp, vp int32, _ int) Candidate {
+			return Candidate{Count: 1, H1: hp, V1: vp, H2: -1, V2: -1}
+		},
+		Add: func(acc, v Candidate) Candidate {
+			acc.Count += v.Count
+			if acc.H2 < 0 && (v.H1 != acc.H1 || v.V1 != acc.V1) {
+				acc.H2, acc.V2 = v.H1, v.V1
+			}
+			return acc
+		},
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	upper := sparse.UpperTriangle(c)
+	st.CandidatePairs = upper.NNZ()
+
+	var cmps []workload.Comparison
+	for r := 0; r < upper.NumRows; r++ {
+		cols, vals := upper.Row(r)
+		for i, col := range cols {
+			cand := vals[i]
+			if cand.Count < opt.MinSharedSeeds {
+				continue
+			}
+			cmps = append(cmps, workload.Comparison{
+				H: r, V: int(col),
+				SeedH: int(cand.H1), SeedV: int(cand.V1),
+				SeedLen: opt.K,
+			})
+		}
+	}
+	st.Comparisons = len(cmps)
+	return cmps, st, nil
+}

@@ -1,0 +1,426 @@
+// Package partition implements the host-side work organisation of §4.2 and
+// §4.3: interpreting the planned comparisons as a graph over sequences,
+// greedily partitioning that graph so tiles can reuse sequences across
+// comparisons (cutting host→device traffic), and k-partitioning the
+// resulting items across tiles into load-balanced, SRAM-feasible batches.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/sram-align/xdropipu/internal/ipukernel"
+	"github.com/sram-align/xdropipu/internal/platform"
+	"github.com/sram-align/xdropipu/internal/workload"
+)
+
+// Item is one indivisible group of comparisons destined for a single tile:
+// either a graph partition (with its unique sequence set ω_i) or a single
+// comparison when reuse is disabled.
+type Item struct {
+	// Seqs lists the global sequence indices the item needs (unique).
+	Seqs []int
+	// Cmps lists comparison indices into the dataset.
+	Cmps []int
+	// Bytes is the sequence payload (what the item costs to transfer).
+	Bytes int
+	// Cost is the §4.2 runtime estimate: quadratic in the extension
+	// lengths, summed over the item's comparisons.
+	Cost float64
+	// Copies marks single-comparison items that carry private sequence
+	// copies: without the graph interpretation the host has no
+	// relationship information, so tiles store and receive duplicates
+	// (the state of the art the paper improves on, §4.3).
+	Copies bool
+}
+
+// CostEstimate returns the batching cost estimate for one comparison. The
+// paper uses the maximum running time, quadratic in the sequence lengths
+// (§4.2): the left and right extension rectangles.
+func CostEstimate(d *workload.Dataset, c workload.Comparison) float64 {
+	lh, lv, rh, rv := d.ExtensionLens(c)
+	return float64(lh)*float64(lv) + float64(rh)*float64(rv)
+}
+
+// Options configures item construction.
+type Options struct {
+	// SeqBudget caps a partition's sequence payload in bytes.
+	SeqBudget int
+	// Reuse enables the §4.3 graph partitioning; off, every comparison
+	// becomes its own item (the "Singlecomparison" mode of Fig. 7).
+	Reuse bool
+	// MaxCmps caps comparisons per partition (0 = unlimited). The
+	// driver sets it so small workloads still spread across all tiles
+	// instead of pooling on a few; large workloads are unaffected.
+	MaxCmps int
+}
+
+// BuildItems turns a dataset into schedulable items using the paper's
+// greedy edge-list walk (§4.3): adjacent vertices join the open partition
+// until the next vertex would exceed the sequence budget, then a new
+// partition starts.
+func BuildItems(d *workload.Dataset, opt Options) []Item {
+	seqBudget := opt.SeqBudget
+	maxCmps := opt.MaxCmps
+	if maxCmps <= 0 {
+		maxCmps = len(d.Comparisons) + 1
+	}
+	if !opt.Reuse {
+		items := make([]Item, 0, len(d.Comparisons))
+		for ci, c := range d.Comparisons {
+			it := Item{
+				Seqs:   []int{c.H},
+				Cmps:   []int{ci},
+				Cost:   CostEstimate(d, c),
+				Copies: true,
+			}
+			it.Bytes = len(d.Sequences[c.H])
+			if c.V != c.H {
+				it.Seqs = append(it.Seqs, c.V)
+				it.Bytes += len(d.Sequences[c.V])
+			}
+			items = append(items, it)
+		}
+		return items
+	}
+
+	// Greedy graph growing (§4.3): start from a vertex, walk through its
+	// edge list adding the adjacent vertices to the partition, and keep
+	// following the newly added vertices' edges until the next vertex
+	// would exceed the memory budget; then start a new partition. The
+	// frontier walk keeps partitions topologically local regardless of
+	// the sequence numbering, which is what makes reuse high on overlap
+	// graphs.
+	adj := make([][]int, len(d.Sequences)) // vertex → incident edges
+	for ci, c := range d.Comparisons {
+		adj[c.H] = append(adj[c.H], ci)
+		if c.V != c.H {
+			adj[c.V] = append(adj[c.V], ci)
+		}
+	}
+
+	var items []Item
+	assigned := make([]bool, len(d.Comparisons))
+	inPart := make([]int, len(d.Sequences)) // vertex → open-partition stamp
+	for i := range inPart {
+		inPart[i] = -1
+	}
+	var cur Item
+	stamp := 0
+
+	flush := func() {
+		if len(cur.Cmps) > 0 {
+			items = append(items, cur)
+		}
+		cur = Item{}
+		stamp++
+	}
+	addSeq := func(s int) {
+		if inPart[s] != stamp {
+			inPart[s] = stamp
+			cur.Seqs = append(cur.Seqs, s)
+			cur.Bytes += len(d.Sequences[s])
+		}
+	}
+	need := func(s int) int {
+		if inPart[s] == stamp {
+			return 0
+		}
+		return len(d.Sequences[s])
+	}
+
+	var queue []int
+	for seed := range adj {
+		if len(adj[seed]) == 0 {
+			continue
+		}
+		queue = append(queue[:0], seed)
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, ci := range adj[u] {
+				if assigned[ci] {
+					continue
+				}
+				c := d.Comparisons[ci]
+				grow := need(c.H) + need(c.V)
+				if cur.Bytes+grow > seqBudget || len(cur.Cmps) >= maxCmps {
+					if len(cur.Cmps) == 0 {
+						// A single comparison larger than the
+						// budget gets its own item; the batcher
+						// decides feasibility.
+						addSeq(c.H)
+						addSeq(c.V)
+						cur.Cmps = append(cur.Cmps, ci)
+						cur.Cost += CostEstimate(d, c)
+						assigned[ci] = true
+						flush()
+					}
+					// Leave the edge for a later partition rooted
+					// nearby; close the full partition and restart
+					// the walk from this vertex.
+					if len(cur.Cmps) > 0 {
+						flush()
+						queue = append(queue[:0], u)
+						qi = 0
+					}
+					continue
+				}
+				wasH := inPart[c.H] == stamp
+				wasV := inPart[c.V] == stamp
+				addSeq(c.H)
+				addSeq(c.V)
+				if !wasH && c.H != u {
+					queue = append(queue, c.H)
+				}
+				if !wasV && c.V != u {
+					queue = append(queue, c.V)
+				}
+				cur.Cmps = append(cur.Cmps, ci)
+				cur.Cost += CostEstimate(d, c)
+				assigned[ci] = true
+			}
+		}
+	}
+	flush()
+	// Mop-up: edges skipped at a partition boundary whose endpoints were
+	// both consumed by earlier walks never reappear on the frontier;
+	// sweep them into fresh partitions so every comparison is scheduled
+	// exactly once.
+	for ci := range d.Comparisons {
+		if assigned[ci] {
+			continue
+		}
+		c := d.Comparisons[ci]
+		grow := need(c.H) + need(c.V)
+		if (cur.Bytes+grow > seqBudget || len(cur.Cmps) >= maxCmps) && len(cur.Cmps) > 0 {
+			flush()
+		}
+		addSeq(c.H)
+		addSeq(c.V)
+		cur.Cmps = append(cur.Cmps, ci)
+		cur.Cost += CostEstimate(d, c)
+		assigned[ci] = true
+	}
+	flush()
+	return items
+}
+
+// ReuseFactor reports the transfer saving of a set of items: the ratio of
+// naive per-comparison sequence bytes to the bytes the items actually
+// carry. 1.0 means no reuse; 2.0 means each transferred sequence serves
+// two comparisons on average.
+func ReuseFactor(d *workload.Dataset, items []Item) float64 {
+	var naive, actual int64
+	for _, it := range items {
+		actual += int64(it.Bytes)
+		for _, ci := range it.Cmps {
+			c := d.Comparisons[ci]
+			naive += int64(len(d.Sequences[c.H]) + len(d.Sequences[c.V]))
+		}
+	}
+	if actual == 0 {
+		return 1
+	}
+	return float64(naive) / float64(actual)
+}
+
+// MaxMinExtension returns the largest min-side extension length over the
+// dataset's comparisons — the δ that sizes unbounded DP buffers.
+func MaxMinExtension(d *workload.Dataset) int {
+	mm := 0
+	for _, c := range d.Comparisons {
+		if v := cmpMaxMin(d, c); v > mm {
+			mm = v
+		}
+	}
+	return mm
+}
+
+// DeriveSeqBudget computes the per-partition sequence budget for a dataset
+// under a kernel configuration: tile SRAM minus the thread work buffers
+// the configured algorithm needs for the dataset's largest extension,
+// minus a small allowance for tuples and results. It fails when the work
+// buffers alone exceed tile SRAM — which is precisely what happens to the
+// unrestricted algorithms on long reads (§3) and what δb fixes.
+func DeriveSeqBudget(d *workload.Dataset, cfg ipukernel.Config, model platform.IPUModel) (int, error) {
+	threads := cfg.Threads
+	if threads <= 0 || threads > model.ThreadsPerTile {
+		threads = model.ThreadsPerTile
+	}
+	const allowance = 8 * 1024
+	bufs := threads * cfg.WorkBufBytesPerThread(MaxMinExtension(d))
+	budget := model.DataSRAM() - bufs - allowance
+	if budget <= 0 {
+		return 0, fmt.Errorf(
+			"partition: %v work buffers need %d B of the %d B tile SRAM; use the memory-restricted algorithm or a smaller δb",
+			cfg.Params.Algo, bufs, model.DataSRAM())
+	}
+	return budget, nil
+}
+
+// tileBuilder incrementally assembles one tile's work while tracking the
+// SRAM formula of the kernel configuration.
+type tileBuilder struct {
+	work     ipukernel.TileWork
+	localIdx map[int]int
+	load     float64
+	seqBytes int
+	maxMin   int
+}
+
+func newTileBuilder() *tileBuilder {
+	return &tileBuilder{localIdx: make(map[int]int)}
+}
+
+func (tb *tileBuilder) memoryWith(d *workload.Dataset, it *Item, cfg ipukernel.Config, threads int) int {
+	seqBytes := tb.seqBytes
+	nSeqs := len(tb.work.Seqs)
+	for _, s := range it.Seqs {
+		if _, ok := tb.localIdx[s]; !ok || it.Copies {
+			seqBytes += len(d.Sequences[s])
+			nSeqs++
+		}
+	}
+	nJobs := len(tb.work.Jobs) + len(it.Cmps)
+	maxMin := tb.maxMin
+	for _, ci := range it.Cmps {
+		if mm := cmpMaxMin(d, d.Comparisons[ci]); mm > maxMin {
+			maxMin = mm
+		}
+	}
+	return seqBytes + nSeqs*8 + nJobs*ipukernel.JobTupleBytes +
+		threads*cfg.WorkBufBytesPerThread(maxMin) +
+		nJobs*ipukernel.ResultBytes + 64
+}
+
+func cmpMaxMin(d *workload.Dataset, c workload.Comparison) int {
+	lh, lv, rh, rv := d.ExtensionLens(c)
+	mm := lh
+	if lv < mm {
+		mm = lv
+	}
+	r := rh
+	if rv < r {
+		r = rv
+	}
+	if r > mm {
+		mm = r
+	}
+	return mm
+}
+
+func (tb *tileBuilder) add(d *workload.Dataset, it *Item) {
+	for _, s := range it.Seqs {
+		if _, ok := tb.localIdx[s]; !ok || it.Copies {
+			tb.localIdx[s] = len(tb.work.Seqs)
+			tb.work.Seqs = append(tb.work.Seqs, d.Sequences[s])
+			tb.seqBytes += len(d.Sequences[s])
+		}
+	}
+	for _, ci := range it.Cmps {
+		c := d.Comparisons[ci]
+		tb.work.Jobs = append(tb.work.Jobs, ipukernel.SeedJob{
+			HLocal: tb.localIdx[c.H],
+			VLocal: tb.localIdx[c.V],
+			SeedH:  c.SeedH, SeedV: c.SeedV, SeedLen: c.SeedLen,
+			GlobalID: ci,
+		})
+		if mm := cmpMaxMin(d, c); mm > tb.maxMin {
+			tb.maxMin = mm
+		}
+	}
+	tb.load += it.Cost
+}
+
+// MakeBatches distributes items across tiles into BSP batches: items are
+// placed largest-cost-first onto the least-loaded tile of the open batch
+// that still has the SRAM for them (longest-processing-time k-partitioning
+// under the §4.2 quadratic estimate); when no tile fits, the batch closes.
+func MakeBatches(d *workload.Dataset, items []Item, tiles int, cfg ipukernel.Config, model platform.IPUModel) ([]*ipukernel.Batch, error) {
+	return MakeBatchesLimit(d, items, tiles, cfg, model, 0)
+}
+
+// MakeBatchesLimit is MakeBatches with a cap on jobs per batch (0 = no
+// cap). Finer batches keep the multi-IPU work queue deep enough for the
+// driver to scale and prefetch (§4.4).
+func MakeBatchesLimit(d *workload.Dataset, items []Item, tiles int, cfg ipukernel.Config, model platform.IPUModel, maxJobs int) ([]*ipukernel.Batch, error) {
+	if tiles <= 0 {
+		return nil, fmt.Errorf("partition: tiles must be positive")
+	}
+	if maxJobs <= 0 {
+		maxJobs = 1 << 30
+	}
+	threads := cfg.Threads
+	if threads <= 0 || threads > model.ThreadsPerTile {
+		threads = model.ThreadsPerTile
+	}
+	budget := model.DataSRAM()
+
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return items[order[a]].Cost > items[order[b]].Cost })
+
+	var batches []*ipukernel.Batch
+	var builders []*tileBuilder
+
+	closeBatch := func() {
+		if len(builders) == 0 {
+			return
+		}
+		b := &ipukernel.Batch{}
+		for _, tb := range builders {
+			if len(tb.work.Jobs) > 0 {
+				b.Tiles = append(b.Tiles, tb.work)
+			}
+		}
+		if len(b.Tiles) > 0 {
+			batches = append(batches, b)
+		}
+		builders = nil
+	}
+
+	batchJobs := 0
+	for _, idx := range order {
+		it := &items[idx]
+		placed := false
+		for attempt := 0; attempt < 2 && !placed; attempt++ {
+			if batchJobs+len(it.Cmps) > maxJobs && batchJobs > 0 {
+				closeBatch()
+				batchJobs = 0
+			}
+			if builders == nil {
+				builders = make([]*tileBuilder, tiles)
+				for i := range builders {
+					builders[i] = newTileBuilder()
+				}
+			}
+			// Least-loaded tile that still fits the item.
+			best := -1
+			for ti, tb := range builders {
+				if tb.memoryWith(d, it, cfg, threads) > budget {
+					continue
+				}
+				if best < 0 || tb.load < builders[best].load {
+					best = ti
+				}
+			}
+			if best >= 0 {
+				builders[best].add(d, it)
+				batchJobs += len(it.Cmps)
+				placed = true
+				break
+			}
+			// No room anywhere: start a fresh batch and retry once.
+			closeBatch()
+			batchJobs = 0
+		}
+		if !placed {
+			return nil, fmt.Errorf("partition: item with %d comparisons (%d B of sequences) cannot fit an empty tile; reduce δb or split the item",
+				len(it.Cmps), it.Bytes)
+		}
+	}
+	closeBatch()
+	return batches, nil
+}

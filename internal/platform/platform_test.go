@@ -1,0 +1,99 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIPUModels(t *testing.T) {
+	for _, m := range []IPUModel{GC200, BOW} {
+		if m.Tiles != 1472 || m.ThreadsPerTile != 6 || m.ThreadSlotCycles != 6 {
+			t.Errorf("%s: wrong layout %+v", m.Name, m)
+		}
+		if m.SRAMPerTile != 624*1024 {
+			t.Errorf("%s: SRAM %d", m.Name, m.SRAMPerTile)
+		}
+		if m.DataSRAM() >= m.SRAMPerTile || m.DataSRAM() <= 0 {
+			t.Errorf("%s: DataSRAM %d", m.Name, m.DataSRAM())
+		}
+	}
+	if BOW.ClockHz <= GC200.ClockHz {
+		t.Error("BOW must clock higher than GC200 (§2.1.1)")
+	}
+}
+
+func TestThreadSeconds(t *testing.T) {
+	// 1.33e9 Hz, 6-cycle slot rotation: 1 instruction = 6/1.33e9 s.
+	got := GC200.ThreadSeconds(1)
+	want := 6.0 / 1.33e9
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("ThreadSeconds(1) = %g, want %g", got, want)
+	}
+	if GC200.ThreadSeconds(0) != 0 {
+		t.Error("zero instructions must take zero time")
+	}
+}
+
+func TestScaledPreservesRatios(t *testing.T) {
+	s := 8
+	ipu := GC200.Scaled(s)
+	cpu := EPYC7763.Scaled(s)
+	gpu := A100.Scaled(s)
+	if ipu.Tiles != (1472+s-1)/s {
+		t.Errorf("scaled tiles = %d", ipu.Tiles)
+	}
+	if cpu.Cores != 8 {
+		t.Errorf("scaled cores = %d", cpu.Cores)
+	}
+	if gpu.SMs != (108+s-1)/s {
+		t.Errorf("scaled SMs = %d", gpu.SMs)
+	}
+	// Per-unit behaviour unchanged.
+	if ipu.ClockHz != GC200.ClockHz || cpu.ClockHz != EPYC7763.ClockHz {
+		t.Error("scaling must not change clocks")
+	}
+	if ipu.SRAMPerTile != GC200.SRAMPerTile {
+		t.Error("scaling must not change per-tile SRAM")
+	}
+	// Scale 1 and below are identity.
+	if GC200.Scaled(1).Tiles != 1472 || GC200.Scaled(0).Tiles != 1472 {
+		t.Error("Scaled(≤1) must be identity")
+	}
+	// Never scale to zero resources.
+	if EPYC7763.Scaled(1000).Cores < 1 || A100.Scaled(1000).SMs < 1 {
+		t.Error("scaling must keep at least one unit")
+	}
+}
+
+func TestVecCellsPerCycle(t *testing.T) {
+	c := EPYC7763
+	if c.VecCellsPerCycle(0) != 0 {
+		t.Error("zero band → zero throughput")
+	}
+	if !(c.VecCellsPerCycle(40) > c.VecCellsPerCycle(8)) {
+		t.Error("efficiency must grow with band width")
+	}
+	if c.VecCellsPerCycle(1e12) > c.VecPeakCellsPerCycle {
+		t.Error("efficiency must saturate at peak")
+	}
+}
+
+func TestGPUBlockSlots(t *testing.T) {
+	if A100.BlockSlots() != 108*4 {
+		t.Errorf("BlockSlots = %d", A100.BlockSlots())
+	}
+}
+
+func TestDefaultKernelCost(t *testing.T) {
+	c := DefaultKernelCost
+	if c.InstrPerCell <= 0 || c.DualIssueSpeedup <= 1 || c.DualIssueSpeedup > 2 {
+		t.Errorf("implausible kernel cost %+v", c)
+	}
+	// Calibration sanity: one full GC200 with dual issue must land in
+	// the paper's computed-cell throughput regime (§6.2 analysis —
+	// ~4×10¹¹ cells/s).
+	rate := GC200.ClockHz * float64(GC200.Tiles) / (c.InstrPerCell / c.DualIssueSpeedup)
+	if rate < 2e11 || rate > 8e11 {
+		t.Errorf("device cell rate %.3g outside calibrated regime", rate)
+	}
+}

@@ -1,0 +1,111 @@
+package scoring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSimpleScores(t *testing.T) {
+	s := NewSimple(1, -1)
+	tests := []struct {
+		a, b byte
+		want int
+	}{
+		{'A', 'A', 1},
+		{'A', 'C', -1},
+		{'N', 'N', -1}, // N never matches
+		{'G', 'G', 1},
+		{'T', 'A', -1},
+	}
+	for _, tc := range tests {
+		if got := s.Score(tc.a, tc.b); got != tc.want {
+			t.Errorf("Score(%c,%c) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+	if s.MaxScore() != 1 {
+		t.Errorf("MaxScore = %d, want 1", s.MaxScore())
+	}
+}
+
+func TestSimplePanicsOnBadScheme(t *testing.T) {
+	for _, mm := range [][2]int{{0, -1}, {1, 0}, {-1, -1}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSimple(%d,%d) did not panic", mm[0], mm[1])
+				}
+			}()
+			NewSimple(mm[0], mm[1])
+		}()
+	}
+}
+
+func TestSimpleTableAgrees(t *testing.T) {
+	s := NewSimple(2, -3)
+	tab := s.Table()
+	f := func(a, b byte) bool {
+		return int(tab[a][b]) == s.Score(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlosum62KnownEntries(t *testing.T) {
+	tests := []struct {
+		a, b byte
+		want int
+	}{
+		{'A', 'A', 4},
+		{'W', 'W', 11},
+		{'C', 'C', 9},
+		{'A', 'R', -1},
+		{'R', 'A', -1},
+		{'W', 'C', -2},
+		{'*', '*', 1},
+		{'B', 'D', 4},
+		{'X', 'X', -1},
+		{'L', 'I', 2},
+		{'E', 'Z', 4},
+	}
+	for _, tc := range tests {
+		if got := Blosum62.Score(tc.a, tc.b); got != tc.want {
+			t.Errorf("BLOSUM62(%c,%c) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestBlosum62Symmetric(t *testing.T) {
+	syms := []byte(Blosum62.Symbols())
+	for _, a := range syms {
+		for _, b := range syms {
+			if Blosum62.Score(a, b) != Blosum62.Score(b, a) {
+				t.Fatalf("BLOSUM62 not symmetric at (%c,%c)", a, b)
+			}
+		}
+	}
+}
+
+func TestBlosum62UnknownSymbolFallsBackToX(t *testing.T) {
+	if Blosum62.Score('J', 'A') != Blosum62.Score('X', 'X') {
+		t.Errorf("unknown symbol should score like X/X")
+	}
+}
+
+func TestBlosum62Max(t *testing.T) {
+	if Blosum62.MaxScore() != 11 {
+		t.Errorf("MaxScore = %d, want 11 (W/W)", Blosum62.MaxScore())
+	}
+}
+
+func TestDNADefault(t *testing.T) {
+	if DNADefault.Score('A', 'A') != 1 || DNADefault.Score('A', 'G') != -1 {
+		t.Error("DNADefault is not +1/-1")
+	}
+	if DNADefault.String() != "simple(+1/-1)" {
+		t.Errorf("String = %q", DNADefault.String())
+	}
+	if Blosum62.String() != "BLOSUM62" {
+		t.Errorf("String = %q", Blosum62.String())
+	}
+}

@@ -1,0 +1,131 @@
+package seqio
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadFasta parses FASTA records from r, validating and canonicalising each
+// sequence against alpha. Records with empty sequences are rejected.
+func ReadFasta(r io.Reader, alpha *Alphabet) ([]*Sequence, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var seqs []*Sequence
+	var cur *Sequence
+	var buf bytes.Buffer
+	lineNo := 0
+
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if buf.Len() == 0 {
+			return fmt.Errorf("seqio: record %q has no sequence data", cur.ID)
+		}
+		data := make([]byte, buf.Len())
+		copy(data, buf.Bytes())
+		if err := alpha.Clean(data); err != nil {
+			return fmt.Errorf("record %q: %w", cur.ID, err)
+		}
+		cur.Data = data
+		cur.Kind = alpha.Kind()
+		seqs = append(seqs, cur)
+		cur = nil
+		buf.Reset()
+		return nil
+	}
+
+	for {
+		line, err := br.ReadBytes('\n')
+		lineNo++
+		line = bytes.TrimRight(line, "\r\n")
+		if len(line) > 0 {
+			switch line[0] {
+			case '>':
+				if err := flush(); err != nil {
+					return nil, err
+				}
+				id, desc := splitHeader(line[1:])
+				if id == "" {
+					return nil, fmt.Errorf("seqio: empty FASTA header at line %d", lineNo)
+				}
+				cur = &Sequence{ID: id, Desc: desc}
+			case ';':
+				// Classic FASTA comment line; ignore.
+			default:
+				if cur == nil {
+					return nil, fmt.Errorf("seqio: sequence data before first header at line %d", lineNo)
+				}
+				buf.Write(line)
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return seqs, nil
+}
+
+func splitHeader(h []byte) (id, desc string) {
+	h = bytes.TrimSpace(h)
+	if i := bytes.IndexByte(h, ' '); i >= 0 {
+		return string(h[:i]), string(bytes.TrimSpace(h[i+1:]))
+	}
+	return string(h), ""
+}
+
+// WriteFasta writes records to w with lines wrapped at width symbols
+// (width <= 0 selects the conventional 80).
+func WriteFasta(w io.Writer, seqs []*Sequence, width int) error {
+	if width <= 0 {
+		width = 80
+	}
+	bw := bufio.NewWriter(w)
+	for _, s := range seqs {
+		if s.Desc != "" {
+			fmt.Fprintf(bw, ">%s %s\n", s.ID, s.Desc)
+		} else {
+			fmt.Fprintf(bw, ">%s\n", s.ID)
+		}
+		for off := 0; off < len(s.Data); off += width {
+			end := off + width
+			if end > len(s.Data) {
+				end = len(s.Data)
+			}
+			bw.Write(s.Data[off:end])
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFastaFile reads a FASTA file from disk.
+func ReadFastaFile(path string, alpha *Alphabet) ([]*Sequence, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFasta(f, alpha)
+}
+
+// WriteFastaFile writes sequences to a FASTA file on disk.
+func WriteFastaFile(path string, seqs []*Sequence, width int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteFasta(f, seqs, width); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

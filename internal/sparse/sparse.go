@@ -1,0 +1,202 @@
+// Package sparse provides the distributed-sparse-matrix substrate that
+// ELBA and PASTIS are built on (§2.3, §2.4): COO/CSR matrices over generic
+// nonzero payloads and a Gustavson SpGEMM with caller-supplied semirings,
+// which is how the pipelines compute their AᵀA / ASAᵀ overlap products.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Triple is one COO nonzero.
+type Triple[T any] struct {
+	// Row and Col are the coordinates.
+	Row, Col int
+	// Val is the payload.
+	Val T
+}
+
+// CSR is a compressed-sparse-row matrix over payload type T.
+type CSR[T any] struct {
+	// NumRows and NumCols are the logical dimensions.
+	NumRows, NumCols int
+	// RowPtr has NumRows+1 entries delimiting each row's nonzeros.
+	RowPtr []int64
+	// ColIdx holds column indices, row-major, sorted within a row.
+	ColIdx []int32
+	// Vals holds the payloads parallel to ColIdx.
+	Vals []T
+}
+
+// NNZ returns the stored-nonzero count.
+func (m *CSR[T]) NNZ() int { return len(m.ColIdx) }
+
+// Row returns the column indices and values of row r (shared slices).
+func (m *CSR[T]) Row(r int) ([]int32, []T) {
+	lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+	return m.ColIdx[lo:hi], m.Vals[lo:hi]
+}
+
+// FromTriples builds a CSR from unordered COO triples. Duplicate
+// coordinates are merged with add.
+func FromTriples[T any](rows, cols int, ts []Triple[T], add func(T, T) T) (*CSR[T], error) {
+	for _, t := range ts {
+		if t.Row < 0 || t.Row >= rows || t.Col < 0 || t.Col >= cols {
+			return nil, fmt.Errorf("sparse: triple (%d,%d) outside %d×%d", t.Row, t.Col, rows, cols)
+		}
+	}
+	sort.SliceStable(ts, func(a, b int) bool {
+		if ts[a].Row != ts[b].Row {
+			return ts[a].Row < ts[b].Row
+		}
+		return ts[a].Col < ts[b].Col
+	})
+	m := &CSR[T]{NumRows: rows, NumCols: cols, RowPtr: make([]int64, rows+1)}
+	for i := 0; i < len(ts); {
+		j := i + 1
+		v := ts[i].Val
+		for j < len(ts) && ts[j].Row == ts[i].Row && ts[j].Col == ts[i].Col {
+			v = add(v, ts[j].Val)
+			j++
+		}
+		m.ColIdx = append(m.ColIdx, int32(ts[i].Col))
+		m.Vals = append(m.Vals, v)
+		m.RowPtr[ts[i].Row+1]++
+		i = j
+	}
+	for r := 0; r < rows; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	return m, nil
+}
+
+// Transpose returns the transposed matrix.
+func Transpose[T any](m *CSR[T]) *CSR[T] {
+	t := &CSR[T]{
+		NumRows: m.NumCols,
+		NumCols: m.NumRows,
+		RowPtr:  make([]int64, m.NumCols+1),
+		ColIdx:  make([]int32, m.NNZ()),
+		Vals:    make([]T, m.NNZ()),
+	}
+	for _, c := range m.ColIdx {
+		t.RowPtr[c+1]++
+	}
+	for r := 0; r < t.NumRows; r++ {
+		t.RowPtr[r+1] += t.RowPtr[r]
+	}
+	next := make([]int64, t.NumRows)
+	copy(next, t.RowPtr[:t.NumRows])
+	for r := 0; r < m.NumRows; r++ {
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		for k := lo; k < hi; k++ {
+			c := m.ColIdx[k]
+			p := next[c]
+			next[c]++
+			t.ColIdx[p] = int32(r)
+			t.Vals[p] = m.Vals[k]
+		}
+	}
+	return t
+}
+
+// Semiring defines the SpGEMM algebra: Mult combines a-nonzero (i,k) with
+// b-nonzero (k,j); Add accumulates products landing on the same (i,j).
+type Semiring[A, B, C any] struct {
+	Mult func(a A, b B, k int) C
+	Add  func(acc C, v C) C
+}
+
+// SpGEMM computes C = A·B row-wise (Gustavson) with the given semiring,
+// parallelised over row blocks. The result has sorted column indices.
+func SpGEMM[A, B, C any](a *CSR[A], b *CSR[B], sr Semiring[A, B, C]) (*CSR[C], error) {
+	if a.NumCols != b.NumRows {
+		return nil, fmt.Errorf("sparse: dimension mismatch %d×%d · %d×%d",
+			a.NumRows, a.NumCols, b.NumRows, b.NumCols)
+	}
+	type rowOut struct {
+		cols []int32
+		vals []C
+	}
+	out := make([]rowOut, a.NumRows)
+	workers := 8
+	if a.NumRows < workers {
+		workers = a.NumRows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := make(map[int32]C)
+			for r := w; r < a.NumRows; r += workers {
+				clear(acc)
+				acols, avals := a.Row(r)
+				for i, k := range acols {
+					bcols, bvals := b.Row(int(k))
+					for j, c := range bcols {
+						p := sr.Mult(avals[i], bvals[j], int(k))
+						if old, ok := acc[c]; ok {
+							acc[c] = sr.Add(old, p)
+						} else {
+							acc[c] = p
+						}
+					}
+				}
+				if len(acc) == 0 {
+					continue
+				}
+				ro := rowOut{cols: make([]int32, 0, len(acc)), vals: make([]C, 0, len(acc))}
+				for c := range acc {
+					ro.cols = append(ro.cols, c)
+				}
+				sort.Slice(ro.cols, func(x, y int) bool { return ro.cols[x] < ro.cols[y] })
+				for _, c := range ro.cols {
+					ro.vals = append(ro.vals, acc[c])
+				}
+				out[r] = ro
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	c := &CSR[C]{NumRows: a.NumRows, NumCols: b.NumCols, RowPtr: make([]int64, a.NumRows+1)}
+	for r := range out {
+		c.RowPtr[r+1] = c.RowPtr[r] + int64(len(out[r].cols))
+	}
+	c.ColIdx = make([]int32, c.RowPtr[a.NumRows])
+	c.Vals = make([]C, c.RowPtr[a.NumRows])
+	for r := range out {
+		copy(c.ColIdx[c.RowPtr[r]:], out[r].cols)
+		copy(c.Vals[c.RowPtr[r]:], out[r].vals)
+	}
+	return c, nil
+}
+
+// Filter returns a copy of m keeping only nonzeros where keep returns
+// true.
+func Filter[T any](m *CSR[T], keep func(row, col int, v T) bool) *CSR[T] {
+	out := &CSR[T]{NumRows: m.NumRows, NumCols: m.NumCols, RowPtr: make([]int64, m.NumRows+1)}
+	for r := 0; r < m.NumRows; r++ {
+		cols, vals := m.Row(r)
+		for i, c := range cols {
+			if keep(r, int(c), vals[i]) {
+				out.ColIdx = append(out.ColIdx, c)
+				out.Vals = append(out.Vals, vals[i])
+			}
+		}
+		out.RowPtr[r+1] = int64(len(out.ColIdx))
+	}
+	return out
+}
+
+// UpperTriangle keeps nonzeros with col > row — the i<j half of a
+// symmetric overlap matrix, one comparison per unordered pair.
+func UpperTriangle[T any](m *CSR[T]) *CSR[T] {
+	return Filter(m, func(r, c int, _ T) bool { return c > r })
+}

@@ -1,0 +1,212 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func addInt(a, b int) int { return a + b }
+
+func denseOf(m *CSR[int]) [][]int {
+	d := make([][]int, m.NumRows)
+	for r := range d {
+		d[r] = make([]int, m.NumCols)
+		cols, vals := m.Row(r)
+		for i, c := range cols {
+			d[r][c] = vals[i]
+		}
+	}
+	return d
+}
+
+func randomTriples(rng *rand.Rand, rows, cols, nnz int) []Triple[int] {
+	ts := make([]Triple[int], nnz)
+	for i := range ts {
+		ts[i] = Triple[int]{
+			Row: rng.Intn(rows),
+			Col: rng.Intn(cols),
+			Val: 1 + rng.Intn(5),
+		}
+	}
+	return ts
+}
+
+func TestFromTriplesBasic(t *testing.T) {
+	m, err := FromTriples(3, 4, []Triple[int]{
+		{Row: 1, Col: 2, Val: 5},
+		{Row: 0, Col: 0, Val: 1},
+		{Row: 1, Col: 2, Val: 7}, // duplicate: merged via add
+		{Row: 2, Col: 3, Val: 2},
+	}, addInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", m.NNZ())
+	}
+	d := denseOf(m)
+	if d[1][2] != 12 || d[0][0] != 1 || d[2][3] != 2 {
+		t.Errorf("dense = %v", d)
+	}
+}
+
+func TestFromTriplesRejectsOutOfRange(t *testing.T) {
+	if _, err := FromTriples(2, 2, []Triple[int]{{Row: 2, Col: 0, Val: 1}}, addInt); err == nil {
+		t.Error("row out of range accepted")
+	}
+	if _, err := FromTriples(2, 2, []Triple[int]{{Row: 0, Col: -1, Val: 1}}, addInt); err == nil {
+		t.Error("negative col accepted")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		rows, cols := 1+rng.Intn(12), 1+rng.Intn(12)
+		m, err := FromTriples(rows, cols, randomTriples(rng, rows, cols, rng.Intn(40)), addInt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt := Transpose(Transpose(m))
+		a, b := denseOf(m), denseOf(tt)
+		for r := range a {
+			for c := range a[r] {
+				if a[r][c] != b[r][c] {
+					t.Fatalf("transpose involution broken at (%d,%d)", r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestTransposeShape(t *testing.T) {
+	m, _ := FromTriples(2, 5, []Triple[int]{{Row: 1, Col: 4, Val: 9}}, addInt)
+	tt := Transpose(m)
+	if tt.NumRows != 5 || tt.NumCols != 2 {
+		t.Fatalf("shape %dx%d", tt.NumRows, tt.NumCols)
+	}
+	if denseOf(tt)[4][1] != 9 {
+		t.Error("value misplaced")
+	}
+}
+
+// TestSpGEMMAgainstDense: the generic Gustavson product must match the
+// naive dense product under the (+,×) semiring.
+func TestSpGEMMAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sr := Semiring[int, int, int]{
+		Mult: func(a, b int, _ int) int { return a * b },
+		Add:  func(x, y int) int { return x + y },
+	}
+	for trial := 0; trial < 60; trial++ {
+		n, k, m := 1+rng.Intn(10), 1+rng.Intn(10), 1+rng.Intn(10)
+		a, err := FromTriples(n, k, randomTriples(rng, n, k, rng.Intn(30)), addInt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := FromTriples(k, m, randomTriples(rng, k, m, rng.Intn(30)), addInt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := SpGEMM(a, b, sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		da, db, dc := denseOf(a), denseOf(b), denseOf(c)
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				want := 0
+				for kk := 0; kk < k; kk++ {
+					want += da[i][kk] * db[kk][j]
+				}
+				if dc[i][j] != want {
+					t.Fatalf("trial %d: C[%d][%d] = %d, want %d", trial, i, j, dc[i][j], want)
+				}
+			}
+		}
+		// Column indices must be sorted within each row.
+		for r := 0; r < c.NumRows; r++ {
+			cols, _ := c.Row(r)
+			for i := 1; i < len(cols); i++ {
+				if cols[i-1] >= cols[i] {
+					t.Fatal("row columns not strictly sorted")
+				}
+			}
+		}
+	}
+}
+
+func TestSpGEMMDimensionMismatch(t *testing.T) {
+	a, _ := FromTriples(2, 3, nil, addInt)
+	b, _ := FromTriples(4, 2, nil, addInt)
+	sr := Semiring[int, int, int]{
+		Mult: func(a, b int, _ int) int { return a * b },
+		Add:  func(x, y int) int { return x + y },
+	}
+	if _, err := SpGEMM(a, b, sr); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestSpGEMMDeterministicAccumulationOrder(t *testing.T) {
+	// The Add function sees products in ascending-k order, which the
+	// overlap semiring relies on for deterministic seed selection.
+	a, _ := FromTriples(1, 3, []Triple[int]{
+		{Row: 0, Col: 0, Val: 10}, {Row: 0, Col: 1, Val: 20}, {Row: 0, Col: 2, Val: 30},
+	}, addInt)
+	b, _ := FromTriples(3, 1, []Triple[int]{
+		{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 0, Val: 1}, {Row: 2, Col: 0, Val: 1},
+	}, addInt)
+	var order []int
+	sr := Semiring[int, int, int]{
+		Mult: func(a, b int, k int) int { order = append(order, k); return a * b },
+		Add:  func(x, y int) int { return x + y },
+	}
+	if _, err := SpGEMM(a, b, sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("accumulation order %v, want [0 1 2]", order)
+	}
+}
+
+func TestFilterAndUpperTriangle(t *testing.T) {
+	m, _ := FromTriples(3, 3, []Triple[int]{
+		{Row: 0, Col: 0, Val: 1}, {Row: 0, Col: 2, Val: 2},
+		{Row: 1, Col: 0, Val: 3}, {Row: 2, Col: 2, Val: 4},
+	}, addInt)
+	up := UpperTriangle(m)
+	if up.NNZ() != 1 || denseOf(up)[0][2] != 2 {
+		t.Errorf("UpperTriangle wrong: %v", denseOf(up))
+	}
+	odd := Filter(m, func(_, _ int, v int) bool { return v%2 == 1 })
+	if odd.NNZ() != 2 {
+		t.Errorf("Filter kept %d, want 2", odd.NNZ())
+	}
+}
+
+func TestFromTriplesPropertyNNZ(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(nRows, nCols uint8, n uint8) bool {
+		rows, cols := int(nRows%10)+1, int(nCols%10)+1
+		ts := randomTriples(rng, rows, cols, int(n%50))
+		m, err := FromTriples(rows, cols, ts, addInt)
+		if err != nil {
+			return false
+		}
+		// NNZ never exceeds input triples, and RowPtr is monotone.
+		if m.NNZ() > len(ts) {
+			return false
+		}
+		for r := 0; r < rows; r++ {
+			if m.RowPtr[r] > m.RowPtr[r+1] {
+				return false
+			}
+		}
+		return int(m.RowPtr[rows]) == m.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

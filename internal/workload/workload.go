@@ -1,0 +1,93 @@
+// Package workload defines the interchange format between workload
+// producers (synthetic generators, the ELBA and PASTIS pipelines) and the
+// alignment execution stack (partitioner, batcher, driver, kernels): a
+// sequence pool Ω plus the list of planned seed extensions over it (§4.3).
+package workload
+
+import "fmt"
+
+// Comparison is one planned pairwise alignment: two sequence indices plus
+// the seed match that anchors the extension — the e_c tuple of §4.3.
+type Comparison struct {
+	// H and V index into the dataset's Sequences.
+	H, V int
+	// SeedH and SeedV are the seed start offsets on each sequence.
+	SeedH, SeedV int
+	// SeedLen is the k-mer length.
+	SeedLen int
+}
+
+// Dataset is a set of sequences plus the comparisons to run on them.
+type Dataset struct {
+	// Name labels the dataset in reports.
+	Name string
+	// Sequences is the sequence pool Ω (§4.3).
+	Sequences [][]byte
+	// Comparisons lists the planned seed extensions.
+	Comparisons []Comparison
+	// Protein marks amino-acid data.
+	Protein bool
+}
+
+// TotalSeqBytes sums sequence lengths.
+func (d *Dataset) TotalSeqBytes() int64 {
+	var n int64
+	for _, s := range d.Sequences {
+		n += int64(len(s))
+	}
+	return n
+}
+
+// Validate checks that every comparison's seed is in range.
+func (d *Dataset) Validate() error {
+	for i, c := range d.Comparisons {
+		if c.H < 0 || c.H >= len(d.Sequences) || c.V < 0 || c.V >= len(d.Sequences) {
+			return fmt.Errorf("workload: comparison %d references missing sequence", i)
+		}
+		h, v := d.Sequences[c.H], d.Sequences[c.V]
+		if c.SeedLen <= 0 || c.SeedH < 0 || c.SeedV < 0 ||
+			c.SeedH+c.SeedLen > len(h) || c.SeedV+c.SeedLen > len(v) {
+			return fmt.Errorf("workload: comparison %d seed out of range", i)
+		}
+	}
+	return nil
+}
+
+// ExtensionLens returns the four extension lengths of comparison c: the
+// left and right fragments of H and V around the seed. Table 2 reports
+// their distributions.
+func (d *Dataset) ExtensionLens(c Comparison) (lh, lv, rh, rv int) {
+	h, v := d.Sequences[c.H], d.Sequences[c.V]
+	return c.SeedH, c.SeedV, len(h) - c.SeedH - c.SeedLen, len(v) - c.SeedV - c.SeedLen
+}
+
+// Complexity returns |H|·|V| for comparison c, the Table 2 "Complexity"
+// column and the GCUPS numerator (§5.1).
+func (d *Dataset) Complexity(c Comparison) int64 {
+	return int64(len(d.Sequences[c.H])) * int64(len(d.Sequences[c.V]))
+}
+
+// TheoreticalCells sums Complexity over all comparisons.
+func (d *Dataset) TheoreticalCells() int64 {
+	var n int64
+	for _, c := range d.Comparisons {
+		n += d.Complexity(c)
+	}
+	return n
+}
+
+// Alignment is the outcome of one comparison's seed-and-extend alignment,
+// in dataset coordinates: [BegH,EndH) on sequence H aligned to
+// [BegV,EndV) on sequence V.
+type Alignment struct {
+	// Score is the total alignment score (left + seed + right).
+	Score int
+	// BegH/BegV are inclusive start offsets; EndH/EndV exclusive ends.
+	BegH, BegV, EndH, EndV int
+}
+
+// SpanH returns the aligned length on H.
+func (a Alignment) SpanH() int { return a.EndH - a.BegH }
+
+// SpanV returns the aligned length on V.
+func (a Alignment) SpanV() int { return a.EndV - a.BegV }

@@ -1,0 +1,64 @@
+package workload
+
+import "testing"
+
+func testDataset() *Dataset {
+	return &Dataset{
+		Name:      "t",
+		Sequences: [][]byte{make([]byte, 100), make([]byte, 80), make([]byte, 60)},
+		Comparisons: []Comparison{
+			{H: 0, V: 1, SeedH: 40, SeedV: 30, SeedLen: 10},
+			{H: 1, V: 2, SeedH: 10, SeedV: 20, SeedLen: 10},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := testDataset()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Comparison{
+		{H: -1, V: 0, SeedLen: 5},
+		{H: 0, V: 9, SeedLen: 5},
+		{H: 0, V: 1, SeedH: 95, SeedV: 0, SeedLen: 10},
+		{H: 0, V: 1, SeedH: 0, SeedV: 75, SeedLen: 10},
+		{H: 0, V: 1, SeedLen: 0},
+		{H: 0, V: 1, SeedH: -1, SeedLen: 3},
+	}
+	for i, c := range bad {
+		d := testDataset()
+		d.Comparisons = []Comparison{c}
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad comparison %d accepted", i)
+		}
+	}
+}
+
+func TestExtensionLens(t *testing.T) {
+	d := testDataset()
+	lh, lv, rh, rv := d.ExtensionLens(d.Comparisons[0])
+	if lh != 40 || lv != 30 || rh != 50 || rv != 40 {
+		t.Errorf("extensions = %d,%d,%d,%d", lh, lv, rh, rv)
+	}
+}
+
+func TestComplexity(t *testing.T) {
+	d := testDataset()
+	if d.Complexity(d.Comparisons[0]) != 8000 {
+		t.Errorf("Complexity = %d", d.Complexity(d.Comparisons[0]))
+	}
+	if d.TheoreticalCells() != 8000+4800 {
+		t.Errorf("TheoreticalCells = %d", d.TheoreticalCells())
+	}
+	if d.TotalSeqBytes() != 240 {
+		t.Errorf("TotalSeqBytes = %d", d.TotalSeqBytes())
+	}
+}
+
+func TestAlignmentSpans(t *testing.T) {
+	a := Alignment{Score: 5, BegH: 10, EndH: 30, BegV: 8, EndV: 20}
+	if a.SpanH() != 20 || a.SpanV() != 12 {
+		t.Errorf("spans = %d, %d", a.SpanH(), a.SpanV())
+	}
+}

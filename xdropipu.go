@@ -1,0 +1,160 @@
+// Package xdropipu is the public face of this repository: a Go
+// reproduction of "Space Efficient Sequence Alignment for SRAM-Based
+// Computing: X-Drop on the Graphcore IPU" (SC 2023).
+//
+// It re-exports the library's main entry points:
+//
+//   - the memory-restricted X-Drop aligner and its variants (Align,
+//     ExtendSeed, Params);
+//   - the simulated IPU execution stack (RunOnIPU with IPUConfig);
+//   - the ELBA and PASTIS pipelines (AssembleELBA, SearchPASTIS);
+//   - the CPU/GPU baselines of the paper's evaluation.
+//
+// See README.md for a quickstart and DESIGN.md for the system inventory.
+package xdropipu
+
+import (
+	"github.com/sram-align/xdropipu/internal/backend"
+	"github.com/sram-align/xdropipu/internal/baselines"
+	"github.com/sram-align/xdropipu/internal/core"
+	"github.com/sram-align/xdropipu/internal/driver"
+	"github.com/sram-align/xdropipu/internal/elba"
+	"github.com/sram-align/xdropipu/internal/ipukernel"
+	"github.com/sram-align/xdropipu/internal/pastis"
+	"github.com/sram-align/xdropipu/internal/platform"
+	"github.com/sram-align/xdropipu/internal/scoring"
+	"github.com/sram-align/xdropipu/internal/workload"
+)
+
+// Core alignment API.
+type (
+	// Params configures an X-Drop extension (scorer, gap, X, δb, variant).
+	Params = core.Params
+	// Result is a single extension outcome with its execution trace.
+	Result = core.Result
+	// SeedResult is a two-sided seed extension outcome.
+	SeedResult = core.SeedResult
+	// Seed anchors a seed-and-extend alignment.
+	Seed = core.Seed
+	// Workspace provides allocation-free repeated alignment.
+	Workspace = core.Workspace
+	// Algo selects an X-Drop variant.
+	Algo = core.Algo
+)
+
+// X-Drop variants.
+const (
+	// AlgoRestricted2 is the paper's memory-restricted algorithm (§3).
+	AlgoRestricted2 = core.AlgoRestricted2
+	// AlgoStandard3 is Zhang's three-antidiagonal algorithm.
+	AlgoStandard3 = core.AlgoStandard3
+	// AlgoReference is the full-matrix oracle.
+	AlgoReference = core.AlgoReference
+	// AlgoAffine is the affine-gap (ksw2-style) variant.
+	AlgoAffine = core.AlgoAffine
+)
+
+// Align runs one semi-global X-Drop extension of h against v.
+func Align(h, v []byte, p Params) Result {
+	return core.Align(core.NewView(h), core.NewView(v), p)
+}
+
+// ExtendSeed aligns two sequences through a shared seed: a left and a
+// right X-Drop extension around it (§4.1.1).
+func ExtendSeed(h, v []byte, s Seed, p Params) (SeedResult, error) {
+	return core.ExtendSeed(h, v, s, p)
+}
+
+// Scoring schemes.
+var (
+	// DNAScorer is the +1/−1 scheme of the paper's DNA experiments.
+	DNAScorer = scoring.DNADefault
+	// Blosum62 is the protein substitution matrix PASTIS uses.
+	Blosum62 = scoring.Blosum62
+)
+
+// Workload types shared by the execution stack and the pipelines.
+type (
+	// Dataset is a sequence pool plus planned comparisons.
+	Dataset = workload.Dataset
+	// Comparison is one planned seed extension.
+	Comparison = workload.Comparison
+	// Alignment is one comparison's result in dataset coordinates.
+	Alignment = workload.Alignment
+)
+
+// Simulated IPU execution.
+type (
+	// IPUConfig configures the multi-IPU driver (devices, partitioning,
+	// kernel options).
+	IPUConfig = driver.Config
+	// IPUReport is the outcome of a driver run.
+	IPUReport = driver.Report
+	// KernelConfig selects the on-tile codelet options (LR splitting,
+	// work stealing, dual issue; §4.1).
+	KernelConfig = ipukernel.Config
+	// IPUModel describes an IPU generation.
+	IPUModel = platform.IPUModel
+)
+
+// IPU hardware models (§2.1.1).
+var (
+	// GC200 is the Mk2 IPU.
+	GC200 = platform.GC200
+	// BOW is the Bow IPU.
+	BOW = platform.BOW
+)
+
+// RunOnIPU aligns every comparison of a dataset on the simulated IPU
+// system and returns the report (results, modeled times, traffic).
+func RunOnIPU(d *Dataset, cfg IPUConfig) (*IPUReport, error) {
+	return driver.Run(d, cfg)
+}
+
+// Pipelines.
+type (
+	// ELBAConfig configures the assembler pipeline (§2.3).
+	ELBAConfig = elba.Config
+	// ELBAResult is an assembly outcome.
+	ELBAResult = elba.Result
+	// PASTISConfig configures the protein homology pipeline (§2.4).
+	PASTISConfig = pastis.Config
+	// PASTISResult is a homology search outcome.
+	PASTISResult = pastis.Result
+	// Backend executes a pipeline's alignment phase (IPU, CPU or GPU).
+	Backend = backend.Backend
+	// IPUBackend runs alignments on the simulated IPU system.
+	IPUBackend = backend.IPU
+	// CPUBackend runs the SeqAn/ksw2/genometools-like CPU baselines.
+	CPUBackend = backend.CPU
+	// GPUBackend runs the LOGAN-like GPU baseline.
+	GPUBackend = backend.GPU
+)
+
+// AssembleELBA runs the ELBA pipeline over a read set.
+func AssembleELBA(reads [][]byte, cfg ELBAConfig) (*ELBAResult, error) {
+	return elba.Assemble(reads, cfg)
+}
+
+// SearchPASTIS runs the PASTIS pipeline over a protein set.
+func SearchPASTIS(seqs [][]byte, cfg PASTISConfig) (*PASTISResult, error) {
+	return pastis.Search(seqs, cfg)
+}
+
+// Baselines (§5.1).
+type BaselineResult = baselines.Result
+
+// SeqAn runs the SeqAn-like CPU baseline on a dataset.
+func SeqAn(d *Dataset, x int) *BaselineResult {
+	return baselines.SeqAn(d, x, platform.EPYC7763)
+}
+
+// Ksw2 runs the ksw2-like affine-gap CPU baseline.
+func Ksw2(d *Dataset, x int) *BaselineResult {
+	return baselines.Ksw2(d, x, platform.EPYC7763)
+}
+
+// Logan runs the LOGAN-like GPU baseline.
+func Logan(d *Dataset, x, gpus int) *BaselineResult {
+	return baselines.Logan(d, x, platform.A100, gpus)
+}
