@@ -1,0 +1,3 @@
+module github.com/sram-align/xdropipu
+
+go 1.24

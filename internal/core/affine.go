@@ -1,40 +1,5 @@
 package core
 
-// affDiag stores one antidiagonal of the affine recurrence: the match
-// channel H plus the two gap channels E (gaps consuming V) and F (gaps
-// consuming H), over a shared computed window.
-type affDiag struct {
-	h, e, f []int
-	cl, cu  int
-	lo, hi  int
-}
-
-func (a *affDiag) reset() {
-	a.cl, a.cu = 0, -1
-	a.lo, a.hi = 0, -1
-}
-
-func (a *affDiag) atH(i int) int {
-	if i < a.cl || i > a.cu {
-		return NegInf
-	}
-	return a.h[i-a.cl]
-}
-
-func (a *affDiag) atE(i int) int {
-	if i < a.cl || i > a.cu {
-		return NegInf
-	}
-	return a.e[i-a.cl]
-}
-
-func (a *affDiag) atF(i int) int {
-	if i < a.cl || i > a.cu {
-		return NegInf
-	}
-	return a.f[i-a.cl]
-}
-
 // Affine runs a Gotoh affine-gap X-Drop extension. It allocates its own
 // workspace; use (*Workspace).Affine in hot loops.
 func Affine(h, v View, p Params) Result {
@@ -55,88 +20,232 @@ func Affine(h, v View, p Params) Result {
 //	H(i,j) = max(H(i−1,j−1)+Sim(h_i,v_j), E(i,j), F(i,j))
 //
 // X-Drop pruning applies to every channel against the running best T.
+// A cell is live while any channel survives; at the boundaries the H
+// value equals the single surviving gap channel.
+//
+// Like the linear kernels, the loops run on NegInf-padded int32 buffers
+// (see dp32.go) with the view direction resolved to byte-row slices once
+// per extension, boundary cells peeled, liveness recovered by scanning
+// the stored channels, and trace counters accumulated in locals.
 func (w *Workspace) Affine(h, v View, p Params) Result {
 	m, n := h.Len(), v.Len()
 	delta := minI(m, n) + 1
-	w.b0 = growBuf(w.b0, delta)
-	w.b1 = growBuf(w.b1, delta)
-	w.b2 = growBuf(w.b2, delta)
-	w.e0 = growBuf(w.e0, delta)
-	w.e1 = growBuf(w.e1, delta)
-	w.f0 = growBuf(w.f0, delta)
-	w.f1 = growBuf(w.f1, delta)
+	w.b0 = growBuf32(w.b0, delta)
+	w.b1 = growBuf32(w.b1, delta)
+	w.b2 = growBuf32(w.b2, delta)
+	w.e0 = growBuf32(w.e0, delta)
+	w.e1 = growBuf32(w.e1, delta)
+	w.f0 = growBuf32(w.f0, delta)
+	w.f1 = growBuf32(w.f1, delta)
 
 	res := Result{Stats: Stats{
 		TheoreticalCells: int64(m) * int64(n),
-		WorkBytes:        7 * delta * 4,
+		WorkBytes:        7 * delta * scoreBytes,
 	}}
 
 	tab := p.Scorer.Table()
-	gape := p.Gap
-	gapo := p.GapOpen
+	gape := int32(p.Gap)
+	gapo := int32(p.GapOpen)
+	hb, vb := h.data, v.data
+	hStep, hOrg := h.dir()
+	vStep, vD, vOrg := v.vdir()
 
-	// d1 holds antidiagonal d−1 (all three channels), d2 holds d−2
-	// (only H is read from it), cur is written for d.
-	d1 := affDiag{h: w.b1, e: w.e1, f: w.f1}
-	d2 := affDiag{h: w.b2}
-	cur := affDiag{h: w.b0, e: w.e0, f: w.f0}
-	d2.reset()
+	// d1 buffers hold antidiagonal d−1 (all three channels), d2h holds
+	// d−2 (only H is read from it); out* are written for d. Window
+	// starts and the live bounds of d−1 rotate as plain scalars.
+	d1h, d1e, d1f := w.b1, w.e1, w.f1
+	d2h := w.b2
+	outH, outE, outF := w.b0, w.e0, w.f0
+	seedDiag(d1h, 0)
+	seedDiag(d1e, negInf32)
+	seedDiag(d1f, negInf32)
+	seedDiag(d2h, negInf32)
+	d1cl, d1lo, d1hi := 0, 0, 0
+	d2cl := 0
 
-	d1.h[0], d1.e[0], d1.f[0] = 0, NegInf, NegInf
-	d1.cl, d1.cu, d1.lo, d1.hi = 0, 0, 0, 0
-	res.Stats.observe(1, 1)
+	var acc statAcc
+	acc.observe(1, 1)
 
-	best, bestI, bestD := 0, 0, 0
-	t := 0
+	best, t := int32(0), int32(0)
+	bestI, bestD := 0, 0
 
 	for d := 1; d <= m+n; d++ {
-		cl := maxI(d1.lo, maxI(0, d-n))
-		cu := minI(d1.hi+1, minI(d, m))
+		cl := maxI(d1lo, maxI(0, d-n))
+		cu := minI(d1hi+1, minI(d, m))
 		if cl > cu {
 			break
 		}
-		rowBest, rowBestI := NegInf, -1
+		limit := pruneLimit(t, p.X)
 		lo, hi := -1, -1
-		for i := cl; i <= cu; i++ {
-			j := d - i
-			e, f, s := NegInf, NegInf, NegInf
-			if j > 0 {
-				e = maxI(d1.atE(i), d1.atH(i)+gapo) + gape
-			}
-			if i > 0 {
-				f = maxI(d1.atF(i-1), d1.atH(i-1)+gapo) + gape
-			}
-			if i > 0 && j > 0 {
-				s = d2.atH(i-1) + int(tab[h.At(i-1)][v.At(j-1)])
-			}
-			s = maxI(s, maxI(e, f))
-			limit := t - p.X
-			if s < limit {
-				s = NegInf
-			}
+		o1 := bufPad - d1cl
+		o2 := bufPad - d2cl
+		oo := bufPad - cl
+
+		i := cl
+		if i == 0 {
+			// Top boundary (j = d): only the E channel exists, and it
+			// is also the cell's H value (H = max(−∞, E, −∞)).
+			e := maxI32(d1e[o1], d1h[o1]+gapo) + gape
 			if e < limit {
-				e = NegInf
+				e = negInf32
 			}
-			if f < limit {
-				f = NegInf
-			}
-			if s > NegInf || e > NegInf || f > NegInf {
-				if lo < 0 {
-					lo = i
-				}
-				hi = i
-			}
-			if s > rowBest {
-				rowBest, rowBestI = s, i
-			}
-			k := i - cl
-			cur.h[k], cur.e[k], cur.f[k] = s, e, f
+			outH[oo], outE[oo], outF[oo] = e, e, negInf32
+			i = 1
 		}
+		iB := cu
+		peelDiag := cu == d // bottom boundary cell (j = 0) exists
+		if peelDiag {
+			iB = cu - 1
+		}
+		if cnt := iB - i + 1; cnt > 0 {
+			base := i
+			// Exact-length row slices; d1's H and F values at i−1 are
+			// carried in registers instead of re-loaded.
+			ohRow := outH[base+oo:][:cnt]
+			oeRow := outE[base+oo:][:cnt]
+			ofRow := outF[base+oo:][:cnt]
+			d2v := d2h[base-1+o2:][:cnt]
+			d1hr := d1h[base+o1:][:cnt]
+			d1er := d1e[base+o1:][:cnt]
+			d1fr := d1f[base+o1:][:cnt]
+			hlv := d1h[base-1+o1]
+			flv := d1f[base-1+o1]
+			switch {
+			case !h.rev && !v.rev:
+				hRow := hb[base-1:][:cnt]
+				vRow := vb[d-base-cnt:][:cnt]
+				for k := range ohRow {
+					hrv := d1hr[k]
+					e := maxI32(d1er[k], hrv+gapo) + gape
+					f := maxI32(flv, hlv+gapo) + gape
+					flv = d1fr[k]
+					s := d2v[k] + int32(tab[hRow[k]][vRow[cnt-1-k]])
+					hlv = hrv
+					if e > s {
+						s = e
+					}
+					if f > s {
+						s = f
+					}
+					if s < limit {
+						s = negInf32
+					}
+					if e < limit {
+						e = negInf32
+					}
+					if f < limit {
+						f = negInf32
+					}
+					ohRow[k], oeRow[k], ofRow[k] = s, e, f
+				}
+			case h.rev && v.rev:
+				hRow := hb[m-base-cnt+1:][:cnt]
+				vRow := vb[n-d+base:][:cnt]
+				for k := range ohRow {
+					hrv := d1hr[k]
+					e := maxI32(d1er[k], hrv+gapo) + gape
+					f := maxI32(flv, hlv+gapo) + gape
+					flv = d1fr[k]
+					s := d2v[k] + int32(tab[hRow[cnt-1-k]][vRow[k]])
+					hlv = hrv
+					if e > s {
+						s = e
+					}
+					if f > s {
+						s = f
+					}
+					if s < limit {
+						s = negInf32
+					}
+					if e < limit {
+						e = negInf32
+					}
+					if f < limit {
+						f = negInf32
+					}
+					ohRow[k], oeRow[k], ofRow[k] = s, e, f
+				}
+			default:
+				// Mixed-direction views (never produced by the seed
+				// extension paths): generic index cursors.
+				hIdx := hOrg + hStep*base
+				vIdx := vOrg + vD*d + vStep*base
+				for k := range ohRow {
+					hrv := d1hr[k]
+					e := maxI32(d1er[k], hrv+gapo) + gape
+					f := maxI32(flv, hlv+gapo) + gape
+					flv = d1fr[k]
+					s := d2v[k] + int32(tab[hb[hIdx]][vb[vIdx]])
+					hIdx += hStep
+					vIdx += vStep
+					hlv = hrv
+					if e > s {
+						s = e
+					}
+					if f > s {
+						s = f
+					}
+					if s < limit {
+						s = negInf32
+					}
+					if e < limit {
+						e = negInf32
+					}
+					if f < limit {
+						f = negInf32
+					}
+					ohRow[k], oeRow[k], ofRow[k] = s, e, f
+				}
+			}
+			i = iB + 1
+		}
+		if peelDiag {
+			// Bottom boundary (j = 0): only the F channel exists, and
+			// it is also the cell's H value (H = max(−∞, −∞, F)).
+			f := maxI32(d1f[i-1+o1], d1h[i-1+o1]+gapo) + gape
+			if f < limit {
+				f = negInf32
+			}
+			k := i + oo
+			outH[k], outE[k], outF[k] = f, negInf32, f
+		}
+		width := cu - cl + 1
+		setGuards(outH, width)
+		setGuards(outE, width)
+		setGuards(outF, width)
+
+		// Recover the live sub-window (any surviving channel) and the
+		// row's best H from the stored channels: cheaper than branching
+		// on liveness and best-so-far per cell inside the DP loop.
+		rowH := outH[bufPad:][:width]
+		rowE := outE[bufPad:][:width]
+		rowF := outF[bufPad:][:width]
+		for k := 0; k < width; k++ {
+			if rowH[k] != negInf32 || rowE[k] != negInf32 || rowF[k] != negInf32 {
+				lo = cl + k
+				break
+			}
+		}
+		rowBest, rowBestI := negInf32, -1
+		if lo >= 0 {
+			for k := width - 1; ; k-- {
+				if rowH[k] != negInf32 || rowE[k] != negInf32 || rowF[k] != negInf32 {
+					hi = cl + k
+					break
+				}
+			}
+			for k := lo - cl; k <= hi-cl; k++ {
+				if s := rowH[k]; s > rowBest {
+					rowBest, rowBestI = s, cl+k
+				}
+			}
+		}
+
 		liveW := 0
 		if lo >= 0 {
 			liveW = hi - lo + 1
 		}
-		res.Stats.observe(cu-cl+1, liveW)
+		acc.observe(width, liveW)
 		if lo < 0 {
 			break
 		}
@@ -146,12 +255,25 @@ func (w *Workspace) Affine(h, v View, p Params) Result {
 		if rowBest > t {
 			t = rowBest
 		}
-		cur.cl, cur.cu, cur.lo, cur.hi = cl, cu, lo, hi
-		d2, d1, cur = d1, cur, affDiag{h: d2.h, e: d1.e, f: d1.f}
+		// Rotate: the d−2 H buffer becomes the next H write target; the
+		// E/F channels ping-pong between d−1 and the write target.
+		d2h, d1h, outH = d1h, outH, d2h
+		d1e, outE = outE, d1e
+		d1f, outF = outF, d1f
+		d2cl = d1cl
+		d1cl, d1lo, d1hi = cl, lo, hi
 	}
 
-	res.Score = best
+	acc.flush(&res.Stats)
+	res.Score = int(best)
 	res.EndH = bestI
 	res.EndV = bestD - bestI
 	return res
+}
+
+func maxI32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -26,6 +26,15 @@ func Restricted2(h, v View, p Params) Result {
 //     δb ≥ δw so this does not trigger on real data; §6.1).
 //
 // DeltaB = 0 (or ≥ δ) reproduces the unrestricted search space exactly.
+//
+// The kernel runs on NegInf-padded int32 buffers (see dp32.go): the view
+// direction is resolved to byte-row slices once per extension, the i=0
+// and j=0 boundary cells are peeled out of the inner loop, and interior
+// cells read their neighbors through exact-length row slices with no
+// direction branches and no window checks. The live sub-window is
+// recovered by scanning the stored row's pruned fringes instead of
+// branching on liveness per cell, and trace counters accumulate in
+// locals (statAcc), flushed once at the end.
 func (w *Workspace) Restricted2(h, v View, p Params) Result {
 	m, n := h.Len(), v.Len()
 	delta := minI(m, n) + 1
@@ -33,32 +42,39 @@ func (w *Workspace) Restricted2(h, v View, p Params) Result {
 	if p.DeltaB > 0 && p.DeltaB < delta {
 		capacity = p.DeltaB
 	}
-	w.b1 = growBuf(w.b1, capacity)
-	w.b2 = growBuf(w.b2, capacity)
+	w.b1 = growBuf32(w.b1, capacity)
+	w.b2 = growBuf32(w.b2, capacity)
 
 	res := Result{Stats: Stats{
 		TheoreticalCells: int64(m) * int64(n),
-		WorkBytes:        2 * capacity * 4,
+		WorkBytes:        2 * capacity * scoreBytes,
 	}}
 
 	tab := p.Scorer.Table()
-	gap := p.Gap
+	gap := int32(p.Gap)
+	hb, vb := h.data, v.data
+	hStep, hOrg := h.dir()
+	vStep, vD, vOrg := v.vdir()
 
-	// d1 holds antidiagonal d−1; d2 holds d−2 and is overwritten by d.
-	d1 := adiag{buf: w.b1}
-	d2 := adiag{buf: w.b2}
-	d2.reset()
-	d1.buf[0] = 0
-	d1.cl, d1.cu, d1.lo, d1.hi = 0, 0, 0, 0
-	res.Stats.observe(1, 1)
+	// d1b holds antidiagonal d−1; d2b holds d−2 and is overwritten in
+	// place by d. Window starts and the live bounds of d−1 rotate as
+	// plain scalars.
+	d1b, d2b := w.b1, w.b2
+	seedDiag(d1b, 0)
+	seedDiag(d2b, negInf32)
+	d1cl, d1lo, d1hi := 0, 0, 0
+	d2cl := 0
 
-	best, bestI, bestD := 0, 0, 0
+	var acc statAcc
+	acc.observe(1, 1)
+
+	best, t := int32(0), int32(0)
+	bestI, bestD := 0, 0
 	rowBestI := 0
-	t := 0
 
 	for d := 1; d <= m+n; d++ {
-		cl := maxI(d1.lo, maxI(0, d-n))
-		cu := minI(d1.hi+1, minI(d, m))
+		cl := maxI(d1lo, maxI(0, d-n))
+		cu := minI(d1hi+1, minI(d, m))
 		if cl > cu {
 			break
 		}
@@ -79,49 +95,228 @@ func (w *Workspace) Restricted2(h, v View, p Params) Result {
 			cu = cl + capacity - 1
 		}
 
-		rowBest := NegInf
-		rowBestI = -1
+		limit := pruneLimit(t, p.X)
+		// rowBest tracks only the value in the hot loops (a single
+		// compare-and-move); its index is recovered afterwards by an
+		// equality scan that stops at the first argmax, matching the
+		// first-wins tie-breaking of a scalar best chain.
+		rowBest := negInf32
 		lo, hi := -1, -1
-		out := d2.buf // antidiagonal d overwrites d−2 in place
+		o1 := bufPad - d1cl
+		o2 := bufPad - d2cl
+		oo := bufPad - cl
+		out := d2b // antidiagonal d overwrites d−2 in place
 		// wlast carries the d−2 value at i−1 (the diagonal
 		// predecessor), which the in-place write would clobber.
-		wlast := d2.at(cl - 1)
-		for i := cl; i <= cu; i++ {
-			j := d - i
-			wnew := d2.at(i) // read before the write below
-			s := NegInf
-			if i > 0 && j > 0 {
-				s = wlast + int(tab[h.At(i-1)][v.At(j-1)])
+		wlast := out[cl-1+o2]
+
+		i := cl
+		if i == 0 {
+			// Top boundary (j = d): only the vertical gap move exists.
+			wnew := out[o2]
+			s := d1b[o1] + gap
+			if s < limit {
+				s = negInf32
 			}
-			if i > 0 {
-				if g := d1.at(i-1) + gap; g > s {
-					s = g
-				}
+			if s > rowBest {
+				rowBest = s
 			}
-			if j > 0 {
-				if g := d1.at(i) + gap; g > s {
-					s = g
-				}
-			}
-			if s < t-p.X {
-				s = NegInf
-			} else {
-				if lo < 0 {
-					lo = i
-				}
-				hi = i
-				if s > rowBest {
-					rowBest, rowBestI = s, i
-				}
-			}
-			out[i-cl] = s
+			out[oo] = s
 			wlast = wnew
+			i = 1
 		}
+		iB := cu
+		peelDiag := cu == d // bottom boundary cell (j = 0) exists
+		if peelDiag {
+			iB = cu - 1
+		}
+		if cnt := iB - i + 1; cnt > 0 {
+			base := i
+			// Exact-length row slices: the compiler proves almost all
+			// k accesses in range, so the inner loops are close to
+			// bounds-check-free. outRow aliases d2v shifted left by
+			// cl−d2cl cells; wnew is read before outRow[k] is stored,
+			// and writes trail reads because cl never decreases.
+			outRow := out[base+oo:][:cnt]
+			d2v := out[base+o2:][:cnt]
+			d1r := d1b[base+o1:][:cnt]
+			dlv := d1b[base-1+o1]
+			switch {
+			case !h.rev && !v.rev:
+				hRow := hb[base-1:][:cnt]
+				vRow := vb[d-base-cnt:][:cnt]
+				// Two cells per iteration: both d−2 reads issue before
+				// the pair of in-place stores, so the may-alias
+				// load/store pairs serialize half as often.
+				k := 0
+				for ; k+1 < cnt; k += 2 {
+					w0, w1 := d2v[k], d2v[k+1]
+					s0 := wlast + int32(tab[hRow[k]][vRow[cnt-1-k]])
+					drv0 := d1r[k]
+					if g := maxI32(dlv, drv0) + gap; g > s0 {
+						s0 = g
+					}
+					if s0 < limit {
+						s0 = negInf32
+					}
+					if s0 > rowBest {
+						rowBest = s0
+					}
+					outRow[k] = s0
+					s1 := w0 + int32(tab[hRow[k+1]][vRow[cnt-2-k]])
+					drv1 := d1r[k+1]
+					if g := maxI32(drv0, drv1) + gap; g > s1 {
+						s1 = g
+					}
+					if s1 < limit {
+						s1 = negInf32
+					}
+					if s1 > rowBest {
+						rowBest = s1
+					}
+					outRow[k+1] = s1
+					dlv = drv1
+					wlast = w1
+				}
+				if k < cnt {
+					wnew := d2v[k]
+					s := wlast + int32(tab[hRow[k]][vRow[cnt-1-k]])
+					drv := d1r[k]
+					if g := maxI32(dlv, drv) + gap; g > s {
+						s = g
+					}
+					dlv = drv
+					if s < limit {
+						s = negInf32
+					}
+					if s > rowBest {
+						rowBest = s
+					}
+					outRow[k] = s
+					wlast = wnew
+				}
+			case h.rev && v.rev:
+				hRow := hb[m-base-cnt+1:][:cnt]
+				vRow := vb[n-d+base:][:cnt]
+				k := 0
+				for ; k+1 < cnt; k += 2 {
+					w0, w1 := d2v[k], d2v[k+1]
+					s0 := wlast + int32(tab[hRow[cnt-1-k]][vRow[k]])
+					drv0 := d1r[k]
+					if g := maxI32(dlv, drv0) + gap; g > s0 {
+						s0 = g
+					}
+					if s0 < limit {
+						s0 = negInf32
+					}
+					if s0 > rowBest {
+						rowBest = s0
+					}
+					outRow[k] = s0
+					s1 := w0 + int32(tab[hRow[cnt-2-k]][vRow[k+1]])
+					drv1 := d1r[k+1]
+					if g := maxI32(drv0, drv1) + gap; g > s1 {
+						s1 = g
+					}
+					if s1 < limit {
+						s1 = negInf32
+					}
+					if s1 > rowBest {
+						rowBest = s1
+					}
+					outRow[k+1] = s1
+					dlv = drv1
+					wlast = w1
+				}
+				if k < cnt {
+					wnew := d2v[k]
+					s := wlast + int32(tab[hRow[cnt-1-k]][vRow[k]])
+					drv := d1r[k]
+					if g := maxI32(dlv, drv) + gap; g > s {
+						s = g
+					}
+					dlv = drv
+					if s < limit {
+						s = negInf32
+					}
+					if s > rowBest {
+						rowBest = s
+					}
+					outRow[k] = s
+					wlast = wnew
+				}
+			default:
+				// Mixed-direction views (never produced by the seed
+				// extension paths): generic index cursors.
+				hIdx := hOrg + hStep*base
+				vIdx := vOrg + vD*d + vStep*base
+				for k := range outRow {
+					wnew := d2v[k]
+					s := wlast + int32(tab[hb[hIdx]][vb[vIdx]])
+					hIdx += hStep
+					vIdx += vStep
+					drv := d1r[k]
+					if g := maxI32(dlv, drv) + gap; g > s {
+						s = g
+					}
+					dlv = drv
+					if s < limit {
+						s = negInf32
+					}
+					if s > rowBest {
+						rowBest = s
+					}
+					outRow[k] = s
+					wlast = wnew
+				}
+			}
+			i = iB + 1
+		}
+		if peelDiag {
+			// Bottom boundary (j = 0): only the horizontal gap move.
+			s := d1b[i-1+o1] + gap
+			if s < limit {
+				s = negInf32
+			}
+			if s > rowBest {
+				rowBest = s
+			}
+			out[i+oo] = s
+		}
+		width := cu - cl + 1
+		setGuards(out, width)
+
+		// Recover the live sub-window and the row maximum from the
+		// stored row: cheaper than branching on liveness and best-so-far
+		// per cell inside the DP loop.
+		row := out[bufPad:][:width]
+		for k := 0; k < width; k++ {
+			if row[k] != negInf32 {
+				lo = cl + k
+				break
+			}
+		}
+		rowBestI = -1
+		if lo >= 0 {
+			for k := width - 1; ; k-- {
+				if row[k] != negInf32 {
+					hi = cl + k
+					break
+				}
+			}
+			for k := lo - cl; ; k++ {
+				if row[k] == rowBest {
+					rowBestI = cl + k
+					break
+				}
+			}
+		}
+
 		liveW := 0
 		if lo >= 0 {
 			liveW = hi - lo + 1
 		}
-		res.Stats.observe(cu-cl+1, liveW)
+		acc.observe(width, liveW)
 		if lo < 0 {
 			break
 		}
@@ -131,11 +326,13 @@ func (w *Workspace) Restricted2(h, v View, p Params) Result {
 		if rowBest > t {
 			t = rowBest
 		}
-		d2.cl, d2.cu, d2.lo, d2.hi = cl, cu, lo, hi
-		d1, d2 = d2, d1
+		d1b, d2b = d2b, d1b
+		d2cl = d1cl
+		d1cl, d1lo, d1hi = cl, lo, hi
 	}
 
-	res.Score = best
+	acc.flush(&res.Stats)
+	res.Score = int(best)
 	res.EndH = bestI
 	res.EndV = bestD - bestI
 	return res

@@ -13,6 +13,9 @@ package driver
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"github.com/sram-align/xdropipu/internal/ipu"
 	"github.com/sram-align/xdropipu/internal/ipukernel"
@@ -180,10 +183,47 @@ func NewPlan(d *workload.Dataset, cfg Config) (*Plan, error) {
 		results:     make([]ipukernel.AlignOut, len(d.Comparisons)),
 		reuseFactor: partition.ReuseFactor(d, items),
 	}
-	dev := ipu.New(ipu.Config{Model: cfg.Model, TilesEnabled: tiles})
-	for _, b := range batches {
-		res, err := ipukernel.Run(dev, b, cfg.Kernel)
-		if err != nil {
+
+	// Batches are independent units of work (disjoint comparisons, no
+	// shared device state that affects results), so plan building
+	// executes them concurrently: a GOMAXPROCS-bounded worker pool pulls
+	// batch indexes from an atomic cursor, each worker driving its own
+	// modeled device. The merge below runs sequentially in batch order —
+	// results are keyed by GlobalID and the aggregates are
+	// order-independent sums — so the plan (and every Report scheduled
+	// from it) is identical for any worker count.
+	outs := make([]*ipukernel.BatchResult, len(batches))
+	errs := make([]error, len(batches))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(batches) {
+		workers = len(batches)
+	}
+	kcfg := cfg.Kernel
+	if kcfg.Parallelism <= 0 && workers > 0 {
+		// Split the CPU budget between the batch pool and each Run's
+		// tile pool so nested pools do not multiply into P² goroutines.
+		kcfg.Parallelism = maxInt(1, runtime.GOMAXPROCS(0)/workers)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dev := ipu.New(ipu.Config{Model: cfg.Model, TilesEnabled: tiles})
+			for {
+				bi := int(cursor.Add(1)) - 1
+				if bi >= len(batches) {
+					return
+				}
+				outs[bi], errs[bi] = ipukernel.Run(dev, batches[bi], kcfg)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for bi, res := range outs {
+		if err := errs[bi]; err != nil {
 			return nil, err
 		}
 		for _, o := range res.Out {
@@ -287,6 +327,13 @@ func (p *Plan) Schedule(ipus int) *Report {
 	rep.WallSeconds = wall
 	rep.TransferSeconds = linkBusy
 	return rep
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // Run plans and schedules in one step.

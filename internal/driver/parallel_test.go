@@ -1,0 +1,60 @@
+package driver
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestPlanDeterministicAcrossWorkerCounts: NewPlan executes independent
+// batches concurrently, but the merged plan — Results and every
+// aggregate — must be identical for any worker-pool size, so a Report is
+// reproducible on any host.
+func TestPlanDeterministicAcrossWorkerCounts(t *testing.T) {
+	d := readsData(t, 5, 60)
+	cfg := testCfg(2, true)
+	cfg.MaxBatchJobs = 6 // force several batches so the pool has real work
+
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	var ref *Report
+	for _, procs := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(procs)
+		p, err := NewPlan(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := p.Schedule(cfg.IPUs)
+		if ref == nil {
+			ref = rep
+			if rep.Batches < 2 {
+				t.Fatalf("want multiple batches to exercise the pool, got %d", rep.Batches)
+			}
+			continue
+		}
+		if rep.WallSeconds != ref.WallSeconds ||
+			rep.DeviceComputeSeconds != ref.DeviceComputeSeconds ||
+			rep.TransferSeconds != ref.TransferSeconds ||
+			rep.HostBytesIn != ref.HostBytesIn ||
+			rep.HostBytesOut != ref.HostBytesOut ||
+			rep.Cells != ref.Cells ||
+			rep.TheoreticalCells != ref.TheoreticalCells ||
+			rep.SumBand != ref.SumBand ||
+			rep.Antidiags != ref.Antidiags ||
+			rep.Races != ref.Races ||
+			rep.StealOps != ref.StealOps ||
+			rep.Clamped != ref.Clamped ||
+			rep.MaxSRAM != ref.MaxSRAM ||
+			rep.Batches != ref.Batches {
+			t.Fatalf("GOMAXPROCS=%d changed report aggregates:\n got %+v\nwant %+v", procs, rep, ref)
+		}
+		if len(rep.Results) != len(ref.Results) {
+			t.Fatalf("GOMAXPROCS=%d changed result count", procs)
+		}
+		for i := range rep.Results {
+			if rep.Results[i] != ref.Results[i] {
+				t.Fatalf("GOMAXPROCS=%d changed result %d", procs, i)
+			}
+		}
+	}
+}

@@ -12,7 +12,9 @@ package ipukernel
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/sram-align/xdropipu/internal/core"
 	"github.com/sram-align/xdropipu/internal/ipu"
@@ -98,6 +100,10 @@ type Config struct {
 	// Cost is the instruction cost model (zero value → calibrated
 	// defaults).
 	Cost platform.KernelCost
+	// Parallelism caps the host-side tile worker pool (0 → GOMAXPROCS).
+	// Callers that already run Run concurrently (driver.NewPlan) divide
+	// their budget here so nested pools do not multiply.
+	Parallelism int
 }
 
 func (c Config) withDefaults(m platform.IPUModel) Config {
@@ -243,28 +249,51 @@ func Run(dev *ipu.Device, b *Batch, cfg Config) (*BatchResult, error) {
 	}
 	stats := make([]tileStats, len(b.Tiles))
 
+	// A GOMAXPROCS-sized worker pool pulls tiles from an atomic cursor:
+	// per-worker executors carry the DP workspaces and scheduling scratch
+	// across tiles (and, via execPool, across Run calls), so steady-state
+	// tile execution allocates nothing. Results stay deterministic
+	// regardless of worker count: each tile writes a disjoint slice of
+	// res.Out and its own stats slot, and per-tile execution is itself
+	// deterministic.
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(b.Tiles) {
+		workers = len(b.Tiles)
+	}
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	for ti := range b.Tiles {
+	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
-		go func(ti int) {
+		go func() {
 			defer wg.Done()
-			st := &stats[ti]
-			tile := &b.Tiles[ti]
-			st.sram = cfg.TileMemoryBytes(tile, dev.Model())
-			if st.sram > dev.DataSRAM() {
-				st.err = fmt.Errorf("ipukernel: tile %d needs %d B SRAM, budget %d B (use graph partitioning / smaller δb)",
-					ti, st.sram, dev.DataSRAM())
-				return
+			ex := execPool.Get().(*executor)
+			defer execPool.Put(ex)
+			for {
+				ti := int(cursor.Add(1)) - 1
+				if ti >= len(b.Tiles) {
+					return
+				}
+				st := &stats[ti]
+				tile := &b.Tiles[ti]
+				st.sram = cfg.TileMemoryBytes(tile, dev.Model())
+				if st.sram > dev.DataSRAM() {
+					st.err = fmt.Errorf("ipukernel: tile %d needs %d B SRAM, budget %d B (use graph partitioning / smaller δb)",
+						ti, st.sram, dev.DataSRAM())
+					continue
+				}
+				tr := runTile(tile, cfg, ex, res.Out[outOff[ti]:outOff[ti]+len(tile.Jobs)])
+				st.instr = tr.maxInstr
+				st.races = tr.races
+				st.steals = tr.steals
+				st.cells = tr.cells
+				st.theo = tr.theo
+				st.sumBand = tr.sumBand
+				st.antidiag = tr.antidiag
 			}
-			tr := runTile(tile, cfg, res.Out[outOff[ti]:outOff[ti]+len(tile.Jobs)])
-			st.instr = tr.maxInstr
-			st.races = tr.races
-			st.steals = tr.steals
-			st.cells = tr.cells
-			st.theo = tr.theo
-			st.sumBand = tr.sumBand
-			st.antidiag = tr.antidiag
-		}(ti)
+		}()
 	}
 	wg.Wait()
 

@@ -1,0 +1,115 @@
+package ipukernel
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/sram-align/xdropipu/internal/ipu"
+	"github.com/sram-align/xdropipu/internal/platform"
+	"github.com/sram-align/xdropipu/internal/synth"
+)
+
+// warmTile builds a multi-job tile for executor-reuse tests.
+func warmTile(t *testing.T, jobs int) *TileWork {
+	t.Helper()
+	d := synth.UniformPairs(synth.UniformPairsSpec{
+		Count: jobs, Length: 700, ErrorRate: 0.15, SeedLen: 17, Seed: 21,
+	})
+	tile := &TileWork{}
+	for i, c := range d.Comparisons {
+		tile.Seqs = append(tile.Seqs, d.Sequences[c.H], d.Sequences[c.V])
+		tile.Jobs = append(tile.Jobs, SeedJob{
+			HLocal: 2 * i, VLocal: 2*i + 1,
+			SeedH: c.SeedH, SeedV: c.SeedV, SeedLen: c.SeedLen, GlobalID: i,
+		})
+	}
+	return tile
+}
+
+// TestWarmTileWorkerAllocs: once an executor's workspaces and scratch are
+// warm, executing a tile must not allocate — the pooled tile workers run
+// arbitrarily many supersteps at zero steady-state allocation.
+func TestWarmTileWorkerAllocs(t *testing.T) {
+	tile := warmTile(t, 8)
+	out := make([]AlignOut, len(tile.Jobs))
+	for _, mut := range []func(*Config){
+		func(c *Config) {},
+		func(c *Config) { c.LRSplit = true },
+		func(c *Config) { c.LRSplit = true; c.WorkStealing = true; c.BusyWaitVariance = true },
+	} {
+		cfg := dnaCfg(15).withDefaults(platform.GC200)
+		mut(&cfg)
+		ex := &executor{}
+		runTile(tile, cfg, ex, out) // warm workspaces and scratch
+		allocs := testing.AllocsPerRun(20, func() {
+			runTile(tile, cfg, ex, out)
+		})
+		if allocs != 0 {
+			t.Errorf("warm tile worker allocates %.1f objects/op, want 0 (cfg %+v)", allocs, cfg)
+		}
+	}
+}
+
+// TestExecutorReuseAcrossTiles: an executor that just ran one tile must
+// produce identical results on the next, regardless of what sizes the
+// previous tile left in its workspaces and scratch slices.
+func TestExecutorReuseAcrossTiles(t *testing.T) {
+	big := warmTile(t, 12)
+	small := warmTile(t, 3)
+	cfg := dnaCfg(12).withDefaults(platform.GC200)
+	cfg.LRSplit = true
+	cfg.WorkStealing = true
+	cfg.BusyWaitVariance = true
+
+	fresh := make([]AlignOut, len(small.Jobs))
+	runTile(small, cfg, &executor{}, fresh)
+
+	reused := make([]AlignOut, len(small.Jobs))
+	ex := &executor{}
+	runTile(big, cfg, ex, make([]AlignOut, len(big.Jobs)))
+	runTile(small, cfg, ex, reused)
+
+	for i := range fresh {
+		if fresh[i] != reused[i] {
+			t.Fatalf("job %d: reused executor %+v != fresh %+v", i, reused[i], fresh[i])
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkerCounts: the pooled Run must produce
+// identical batch results no matter how many pool workers execute it.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func() *BatchResult {
+		dev := ipu.New(ipu.Config{Model: platform.GC200})
+		b, _ := buildBatch(t, 24, 400, 0.18, 31)
+		cfg := dnaCfg(12)
+		cfg.LRSplit = true
+		cfg.WorkStealing = true
+		cfg.BusyWaitVariance = true
+		res, err := Run(dev, b, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	var ref *BatchResult
+	for _, procs := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(procs)
+		res := run()
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.Seconds != ref.Seconds || res.Races != ref.Races || res.Cells != ref.Cells ||
+			res.MaxSRAM != ref.MaxSRAM || res.HostBytesIn != ref.HostBytesIn {
+			t.Fatalf("GOMAXPROCS=%d changed batch aggregates", procs)
+		}
+		for i := range res.Out {
+			if res.Out[i] != ref.Out[i] {
+				t.Fatalf("GOMAXPROCS=%d changed output %d", procs, i)
+			}
+		}
+	}
+}

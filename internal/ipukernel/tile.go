@@ -1,6 +1,8 @@
 package ipukernel
 
 import (
+	"sync"
+
 	"github.com/sram-align/xdropipu/internal/core"
 )
 
@@ -27,6 +29,35 @@ type tileResult struct {
 	antidiag int64
 }
 
+// executor is a pool worker's reusable tile-execution state: one DP
+// workspace per simulated hardware thread plus the scheduling scratch.
+// Executors persist across tiles and (through execPool) across Run
+// calls, so a warm tile execution performs no allocation.
+type executor struct {
+	ws    []core.Workspace
+	instr []int64
+	units []unit
+	tied  []int
+}
+
+var execPool = sync.Pool{New: func() any { return &executor{} }}
+
+// prepare sizes the per-thread state, keeping warm workspaces.
+func (ex *executor) prepare(threads int) {
+	for len(ex.ws) < threads {
+		ex.ws = append(ex.ws, core.Workspace{})
+	}
+	if cap(ex.instr) < threads {
+		ex.instr = make([]int64, threads)
+	}
+	ex.instr = ex.instr[:threads]
+	for th := range ex.instr {
+		ex.instr[th] = 0
+	}
+	ex.units = ex.units[:0]
+	ex.tied = ex.tied[:0]
+}
+
 // runTile executes all of a tile's jobs on the configured number of
 // simulated hardware threads and fills out (one slot per job, in order).
 //
@@ -38,7 +69,7 @@ type tileResult struct {
 // list; steals by threads whose counters collide grab the same unit — a
 // race that duplicates work. Eventual work stealing adds a thread-unique
 // busy-wait on collision so subsequent steals diverge.
-func runTile(t *TileWork, cfg Config, out []AlignOut) tileResult {
+func runTile(t *TileWork, cfg Config, ex *executor, out []AlignOut) tileResult {
 	threads := cfg.Threads
 	var tr tileResult
 
@@ -46,24 +77,23 @@ func runTile(t *TileWork, cfg Config, out []AlignOut) tileResult {
 		out[j].GlobalID = t.Jobs[j].GlobalID
 	}
 
-	var units []unit
+	ex.prepare(threads)
+	units := ex.units
 	if cfg.LRSplit {
-		units = make([]unit, 0, 2*len(t.Jobs))
 		for j := range t.Jobs {
 			units = append(units, unit{job: j, side: sideLeft}, unit{job: j, side: sideRight})
 		}
 	} else {
-		units = make([]unit, 0, len(t.Jobs))
 		for j := range t.Jobs {
 			units = append(units, unit{job: j, side: sideBoth})
 		}
 	}
+	ex.units = units
 
-	ws := make([]core.Workspace, threads)
-	instr := make([]int64, threads)
+	instr := ex.instr
 
 	exec := func(th int, u unit) {
-		cost := runUnit(t, cfg, &ws[th], u, out, &tr)
+		cost := runUnit(t, cfg, &ex.ws[th], u, out, &tr)
 		instr[th] += cost
 	}
 
@@ -97,12 +127,13 @@ func runTile(t *TileWork, cfg Config, out []AlignOut) tileResult {
 					low = instr[th]
 				}
 			}
-			var tied []int
+			tied := ex.tied[:0]
 			for th := 0; th < threads; th++ {
 				if instr[th] == low {
 					tied = append(tied, th)
 				}
 			}
+			ex.tied = tied
 			u := units[next]
 			next++
 			for k, th := range tied {
