@@ -4,13 +4,18 @@
 //
 // Usage:
 //
-//	benchtables [-exp name] [-scale n] [-size f] [-seed n] [-list]
+//	benchtables [-exp name] [-scale n] [-size f] [-seed n] [-list] [-json file]
 //
 // With no -exp it runs the full suite. -scale divides every platform's
-// parallel resources (default 8); -size scales dataset sizes.
+// parallel resources (default 8); -size scales dataset sizes. -json runs
+// the engine throughput benchmark and writes its machine-readable result
+// (Mcells/s per kernel variant plus engine throughput at 1/4/16
+// concurrent submitters) to the given file — the BENCH_engine.json
+// artifact that tracks the performance trajectory across PRs.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +29,7 @@ func main() {
 	size := flag.Float64("size", 1.0, "dataset size factor")
 	seed := flag.Int64("seed", 0, "generation seed (0 = default)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonPath := flag.String("json", "", "write BENCH_engine.json-style engine throughput to this file and exit")
 	flag.Parse()
 
 	if *list {
@@ -34,6 +40,25 @@ func main() {
 	}
 
 	opt := bench.Options{W: os.Stdout, Scale: *scale, SizeFactor: *size, Seed: *seed}
+	if *jsonPath != "" {
+		if *exp != "" {
+			fmt.Fprintln(os.Stderr, "benchtables: -json runs the engine benchmark and cannot be combined with -exp")
+			os.Exit(2)
+		}
+		// Buffer the whole benchmark before touching the file, so a
+		// failed run cannot truncate the previous tracked artifact.
+		var buf bytes.Buffer
+		err := bench.WriteEngineJSON(opt, &buf)
+		if err == nil {
+			err = os.WriteFile(*jsonPath, buf.Bytes(), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+		return
+	}
 	var err error
 	if *exp == "" {
 		err = bench.RunAll(opt)

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"github.com/sram-align/xdropipu"
 	"github.com/sram-align/xdropipu/internal/overlap"
@@ -79,18 +81,37 @@ func main() {
 		params.Scorer = xdropipu.Blosum62
 		params.Gap = -2
 	}
-	rep, err := xdropipu.RunOnIPU(d, xdropipu.IPUConfig{
-		IPUs:      *ipus,
-		Model:     xdropipu.GC200,
-		Partition: true,
-		Kernel: xdropipu.KernelConfig{
+
+	// Submit through the persistent engine: results stream back batch by
+	// batch, and Ctrl-C cancels the job (planning included) cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	eng := xdropipu.NewEngine(
+		xdropipu.WithIPUs(*ipus),
+		xdropipu.WithModel(xdropipu.GC200),
+		xdropipu.WithPartition(true),
+		xdropipu.WithKernel(xdropipu.KernelConfig{
 			Params:           params,
 			LRSplit:          true,
 			WorkStealing:     true,
 			BusyWaitVariance: true,
 			DualIssue:        true,
-		},
-	})
+		}),
+	)
+	defer eng.Close()
+	job, err := eng.Submit(ctx, d)
+	if err != nil {
+		fail(err)
+	}
+	// Updates arrive in completion order, so count them rather than
+	// trusting the batch index as a progress measure.
+	done := 0
+	for u := range job.Results() {
+		done++
+		fmt.Fprintf(os.Stderr, "batch %d/%d: %d alignments\r", done, u.Batches, len(u.Results))
+	}
+	fmt.Fprintln(os.Stderr)
+	rep, err := job.Wait(ctx)
 	if err != nil {
 		fail(err)
 	}

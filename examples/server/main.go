@@ -1,0 +1,101 @@
+// Server: the engine as a persistent alignment service. One engine owns
+// a four-IPU fleet; several concurrent clients submit their own
+// workloads, one streams results batch by batch, and one cancels its
+// submission mid-flight — the rest are unaffected. This is the ipuma-lib
+// usage pattern (create_batches → async_submit → blocking_join) that
+// keeps the fleet saturated while hosts keep producing work.
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/sram-align/xdropipu"
+	"github.com/sram-align/xdropipu/internal/synth"
+)
+
+func main() {
+	eng := xdropipu.NewEngine(
+		xdropipu.WithIPUs(4),
+		xdropipu.WithModel(xdropipu.GC200),
+		xdropipu.WithTilesPerIPU(8), // scaled-down demo device
+		xdropipu.WithPartition(true),
+		xdropipu.WithKernel(xdropipu.KernelConfig{
+			Params: xdropipu.Params{
+				Scorer: xdropipu.DNAScorer, Gap: -1, X: 15, DeltaB: 256,
+			},
+			LRSplit: true, WorkStealing: true, BusyWaitVariance: true, DualIssue: true,
+		}),
+		xdropipu.WithQueueDepth(8),
+		// Finer batches deepen the shared work queue: jobs interleave on
+		// the fleet and streaming consumers see steady progress.
+		xdropipu.WithMaxBatchJobs(600),
+	)
+	defer eng.Close()
+
+	var wg sync.WaitGroup
+	for client := 0; client < 4; client++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			d := synth.Reads(synth.ReadsSpec{
+				Name: fmt.Sprintf("client-%d", client), GenomeLen: 60_000,
+				Coverage: 8, MeanReadLen: 1200, MinReadLen: 400, MaxReadLen: 2400,
+				Errors: synth.UniformDNA(0.05), SeedLen: 17, MinOverlap: 300,
+				Seed: int64(100 + client),
+			})
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			job, err := eng.Submit(ctx, d)
+			if err != nil {
+				fmt.Printf("client %d: submit failed: %v\n", client, err)
+				return
+			}
+
+			switch client {
+			case 2:
+				// This client changes its mind: cancel while queued or
+				// running. The engine keeps serving everyone else.
+				cancel()
+				if _, err := job.Wait(context.Background()); err != nil {
+					fmt.Printf("client %d: cancelled: %v\n", client, err)
+					return
+				}
+				fmt.Printf("client %d: finished before the cancel landed\n", client)
+			case 3:
+				// This client streams: results arrive batch by batch (in
+				// completion order) while the fleet works on the rest.
+				results, batches := 0, 0
+				for u := range job.Results() {
+					results += len(u.Results)
+					batches++
+					fmt.Printf("client %d: batch %d/%d (+%d alignments, %d total)\n",
+						client, batches, u.Batches, len(u.Results), results)
+				}
+				rep, err := job.Wait(context.Background())
+				if err != nil {
+					fmt.Printf("client %d: %v\n", client, err)
+					return
+				}
+				fmt.Printf("client %d: streamed %d alignments, %.0f GCUPS\n",
+					client, len(rep.Results), rep.GCUPS(rep.DeviceComputeSeconds))
+			default:
+				// Plain asynchronous clients: submit, then block on join.
+				rep, err := job.Wait(context.Background())
+				if err != nil {
+					fmt.Printf("client %d: %v\n", client, err)
+					return
+				}
+				fmt.Printf("client %d: %d alignments in %d batches, end-to-end %.3gms\n",
+					client, len(rep.Results), rep.Batches, rep.WallSeconds*1e3)
+			}
+		}(client)
+	}
+	wg.Wait()
+
+	st := eng.Stats()
+	fmt.Printf("\nengine lifetime: %d jobs, %d batches, %.1f Mcells computed\n",
+		st.JobsDone, st.BatchesDone, float64(st.CellsDone)/1e6)
+}

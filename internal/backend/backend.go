@@ -6,10 +6,12 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/sram-align/xdropipu/internal/baselines"
 	"github.com/sram-align/xdropipu/internal/driver"
+	"github.com/sram-align/xdropipu/internal/engine"
 	"github.com/sram-align/xdropipu/internal/platform"
 	"github.com/sram-align/xdropipu/internal/workload"
 )
@@ -34,20 +36,46 @@ type Backend interface {
 	Name() string
 }
 
-// IPU runs alignments on the simulated multi-IPU system via the driver.
+// IPU runs alignments on the simulated multi-IPU system through the
+// engine service layer.
 type IPU struct {
 	// Cfg is the driver configuration (devices, kernel, partitioning).
+	// Ignored when Eng is set — a shared engine's fleet wins.
 	Cfg driver.Config
+	// Eng optionally routes the phase through a long-lived shared Engine,
+	// so pipelines running concurrently share one device fleet instead of
+	// each modeling their own. Nil means a throwaway engine per Align.
+	Eng *engine.Engine
+}
+
+// config returns the fleet configuration the backend actually runs.
+func (b *IPU) config() driver.Config {
+	if b.Eng != nil {
+		return b.Eng.Config()
+	}
+	return b.Cfg
 }
 
 // Name implements Backend.
 func (b *IPU) Name() string {
-	return fmt.Sprintf("ipu×%d(%s)", max(1, b.Cfg.IPUs), b.Cfg.Model.Name)
+	cfg := b.config()
+	return fmt.Sprintf("ipu×%d(%s)", max(1, cfg.IPUs), cfg.Model.Name)
 }
 
 // Align implements Backend.
 func (b *IPU) Align(d *workload.Dataset) (*Outcome, error) {
-	rep, err := driver.Run(d, b.Cfg)
+	var rep *driver.Report
+	var err error
+	if b.Eng != nil {
+		var job *engine.Job
+		job, err = b.Eng.Submit(context.Background(), d)
+		if err != nil {
+			return nil, err
+		}
+		rep, err = job.Wait(context.Background())
+	} else {
+		rep, err = engine.RunOnce(context.Background(), b.Cfg, d)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -133,11 +161,4 @@ func (b *GPU) Align(d *workload.Dataset) (*Outcome, error) {
 	}
 	res := baselines.Logan(d, b.X, b.Model, b.GPUs)
 	return &Outcome{Alignments: res.Alignments, Seconds: res.Seconds, Name: b.Name()}, nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,10 +1,13 @@
 package backend
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 
 	"github.com/sram-align/xdropipu/internal/core"
 	"github.com/sram-align/xdropipu/internal/driver"
+	"github.com/sram-align/xdropipu/internal/engine"
 	"github.com/sram-align/xdropipu/internal/ipukernel"
 	"github.com/sram-align/xdropipu/internal/platform"
 	"github.com/sram-align/xdropipu/internal/scoring"
@@ -96,5 +99,51 @@ func TestNames(t *testing.T) {
 		(&GPU{Model: platform.A100}).Name() == "" ||
 		ipuBackend(5).Name() == "" {
 		t.Error("empty backend name")
+	}
+}
+
+// TestCPUUnknownImplErrorText: the error names the bad impl so service
+// operators can spot config typos.
+func TestCPUUnknownImplErrorText(t *testing.T) {
+	_, err := (&CPU{Model: platform.EPYC7763, X: 10, Impl: "blastn"}).Align(testData(t))
+	if err == nil || !strings.Contains(err.Error(), "blastn") {
+		t.Fatalf("unknown impl error = %v, want it to name the impl", err)
+	}
+}
+
+// TestIPUBackendSharedEngine: routing two pipelines through one shared
+// engine yields the same alignments as throwaway engines.
+func TestIPUBackendSharedEngine(t *testing.T) {
+	d := testData(t)
+	solo, err := ipuBackend(10).Align(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.WithDriverConfig(ipuBackend(10).Cfg))
+	defer eng.Close()
+	shared := &IPU{Eng: eng}
+	if shared.Name() == "" {
+		t.Error("shared-engine backend has no name")
+	}
+	for i := 0; i < 2; i++ {
+		out, err := shared.Align(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out.Alignments, solo.Alignments) {
+			t.Fatal("shared engine changed alignments")
+		}
+	}
+}
+
+// TestIPUBackendPropagatesErrors: an invalid dataset surfaces the
+// driver's validation error through the engine path.
+func TestIPUBackendPropagatesErrors(t *testing.T) {
+	bad := &workload.Dataset{
+		Sequences:   [][]byte{make([]byte, 40)},
+		Comparisons: []workload.Comparison{{H: 0, V: 2, SeedLen: 9}},
+	}
+	if _, err := ipuBackend(10).Align(bad); err == nil {
+		t.Fatal("invalid dataset accepted")
 	}
 }

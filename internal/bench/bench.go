@@ -125,6 +125,7 @@ func Experiments() []Runner {
 		{"partition", "§6.2 — batch reduction from partitioning", Partition},
 		{"elba", "§6.3.1 — ELBA alignment phase", ELBA},
 		{"pastis", "§6.3.2 — PASTIS alignment phase", PASTIS},
+		{"engine", "engine service throughput (host-measured)", EngineExp},
 	}
 }
 

@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/sram-align/xdropipu/internal/core"
+	"github.com/sram-align/xdropipu/internal/driver"
+	"github.com/sram-align/xdropipu/internal/engine"
+	"github.com/sram-align/xdropipu/internal/metrics"
+	"github.com/sram-align/xdropipu/internal/workload"
+)
+
+// EngineBenchSchema versions the BENCH_engine.json layout.
+const EngineBenchSchema = "xdropipu-bench-engine/v1"
+
+// VariantThroughput is one kernel variant's host-measured throughput.
+type VariantThroughput struct {
+	// Name is the core algorithm ("restricted2", "standard3", "affine").
+	Name string `json:"name"`
+	// McellsPerSec is computed DP cells over host wall time.
+	McellsPerSec float64 `json:"mcells_per_sec"`
+	// Cells is the computed cell count behind the measurement.
+	Cells int64 `json:"cells"`
+}
+
+// EngineThroughput is the engine's host-measured throughput at one
+// concurrency level.
+type EngineThroughput struct {
+	// Submitters is the concurrent client count.
+	Submitters int `json:"submitters"`
+	// Jobs is the total submissions across all clients.
+	Jobs int `json:"jobs"`
+	// JobsPerSec is completed submissions over host wall time.
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// McellsPerSec is computed DP cells over host wall time.
+	McellsPerSec float64 `json:"mcells_per_sec"`
+	// WallSeconds is the host wall time for the whole burst.
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// EngineBenchResult is the machine-readable BENCH_engine.json payload:
+// the per-variant kernel throughput plus engine throughput under
+// concurrent submitters, tracked across PRs.
+type EngineBenchResult struct {
+	Schema     string              `json:"schema"`
+	Scale      int                 `json:"scale"`
+	SizeFactor float64             `json:"size_factor"`
+	Variants   []VariantThroughput `json:"variants"`
+	Engine     []EngineThroughput  `json:"engine"`
+}
+
+// engineBenchDataset is the common workload: dense enough to produce
+// several batches per job so concurrent jobs really interleave.
+func (o Options) engineBenchDataset(seedOff int64) *workload.Dataset {
+	return o.fig7Dataset(fmt.Sprintf("engine-%d", seedOff), 120_000, 900, 90+seedOff)
+}
+
+// EngineBench measures kernel-variant and engine throughput on the host
+// clock. Unlike the modeled-time experiments, these numbers track the
+// repository's real execution speed across PRs.
+func EngineBench(opt Options) (*EngineBenchResult, error) {
+	opt = opt.withDefaults()
+	res := &EngineBenchResult{
+		Schema:     EngineBenchSchema,
+		Scale:      opt.Scale,
+		SizeFactor: opt.SizeFactor,
+	}
+
+	// Kernel variants, one plan each, timed end to end on the host.
+	d := opt.engineBenchDataset(0)
+	for _, algo := range []core.Algo{core.AlgoRestricted2, core.AlgoStandard3, core.AlgoAffine} {
+		cfg := opt.driverConfig(15, 256, 1)
+		cfg.Kernel.Params.Algo = algo
+		if algo == core.AlgoAffine {
+			cfg.Kernel.Params.GapOpen = -2
+		}
+		start := time.Now()
+		rep, err := driver.Run(d, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("variant %s: %w", algo, err)
+		}
+		el := time.Since(start).Seconds()
+		res.Variants = append(res.Variants, VariantThroughput{
+			Name:         algo.String(),
+			McellsPerSec: float64(rep.Cells) / 1e6 / el,
+			Cells:        rep.Cells,
+		})
+	}
+
+	// Engine throughput: bursts of concurrent submitters against one
+	// persistent engine. Jobs per level are fixed at full size so levels
+	// compare queueing behaviour, but scale down with SizeFactor so the
+	// smoke suite (and its -race rerun) stays cheap.
+	jobsPerLevel := opt.n(16)
+	if jobsPerLevel > 16 {
+		jobsPerLevel = 16
+	}
+	unique := make([]*workload.Dataset, min(4, jobsPerLevel))
+	for i := range unique {
+		unique[i] = opt.engineBenchDataset(int64(1 + i))
+	}
+	datasets := make([]*workload.Dataset, jobsPerLevel)
+	for i := range datasets {
+		datasets[i] = unique[i%len(unique)]
+	}
+	for _, submitters := range []int{1, 4, 16} {
+		cfg := opt.driverConfig(15, 256, 1)
+		cfg.MaxBatchJobs = 64 // several batches per job → real interleaving
+		eng := engine.New(engine.WithDriverConfig(cfg), engine.WithQueueDepth(submitters))
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			cells    int64
+			firstErr error
+		)
+		start := time.Now()
+		for s := 0; s < submitters; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				for i := s; i < jobsPerLevel; i += submitters {
+					job, err := eng.Submit(context.Background(), datasets[i])
+					if err == nil {
+						var rep *driver.Report
+						rep, err = job.Wait(context.Background())
+						if err == nil {
+							mu.Lock()
+							cells += rep.Cells
+							mu.Unlock()
+							continue
+						}
+					}
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("submitter %d: %w", s, err)
+					}
+					mu.Unlock()
+					return
+				}
+			}(s)
+		}
+		wg.Wait()
+		el := time.Since(start).Seconds()
+		if err := eng.Close(); err != nil {
+			return nil, err
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		res.Engine = append(res.Engine, EngineThroughput{
+			Submitters:   submitters,
+			Jobs:         jobsPerLevel,
+			JobsPerSec:   float64(jobsPerLevel) / el,
+			McellsPerSec: float64(cells) / 1e6 / el,
+			WallSeconds:  el,
+		})
+	}
+	return res, nil
+}
+
+// WriteEngineJSON runs EngineBench and writes the payload as indented
+// JSON (the BENCH_engine.json artifact).
+func WriteEngineJSON(opt Options, w io.Writer) error {
+	res, err := EngineBench(opt)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// EngineExp renders the engine benchmark as text tables (the "engine"
+// experiment of the harness).
+func EngineExp(opt Options) error {
+	opt = opt.withDefaults()
+	res, err := EngineBench(opt)
+	if err != nil {
+		return err
+	}
+	vt := metrics.NewTable("Engine — kernel variant throughput (host-measured)",
+		"variant", "Mcells/s")
+	for _, v := range res.Variants {
+		vt.AddRow(v.Name, v.McellsPerSec)
+	}
+	vt.Render(opt.W)
+	et := metrics.NewTable("Engine — concurrent submitter throughput (host-measured)",
+		"submitters", "jobs", "jobs/s", "Mcells/s", "wall s")
+	for _, e := range res.Engine {
+		et.AddRow(e.Submitters, e.Jobs, e.JobsPerSec, e.McellsPerSec, e.WallSeconds)
+	}
+	et.AddNote("host throughput, not modeled time; tracked across PRs via BENCH_engine.json")
+	et.Render(opt.W)
+	return nil
+}

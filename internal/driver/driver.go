@@ -12,6 +12,7 @@
 package driver
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -131,17 +132,54 @@ func (r *Report) MeanBand() float64 {
 	return float64(r.SumBand) / float64(r.Antidiags)
 }
 
-// NewPlan partitions, batches and executes the dataset's comparisons on
-// the modeled device, producing a replayable schedule.
-func NewPlan(d *workload.Dataset, cfg Config) (*Plan, error) {
-	if cfg.IPUs <= 0 {
-		cfg.IPUs = 1
+// Normalized fills Config defaults the way every entry point (Run,
+// NewPlan, the engine) must agree on, so a plan built anywhere schedules
+// identically everywhere.
+func (c Config) Normalized() Config {
+	if c.IPUs <= 0 {
+		c.IPUs = 1
 	}
-	if cfg.Model.Tiles == 0 {
-		cfg.Model = platform.GC200
+	if c.Model.Tiles == 0 {
+		c.Model = platform.GC200
 	}
-	if cfg.SpreadFactor <= 0 {
-		cfg.SpreadFactor = 3
+	if c.SpreadFactor <= 0 {
+		c.SpreadFactor = 3
+	}
+	return c
+}
+
+// EffectiveTiles returns the per-device tile count after clamping
+// TilesPerIPU to the model.
+func (c Config) EffectiveTiles() int {
+	c = c.Normalized()
+	tiles := c.TilesPerIPU
+	if tiles <= 0 || tiles > c.Model.Tiles {
+		tiles = c.Model.Tiles
+	}
+	return tiles
+}
+
+// BatchPlan is the build stage's output: the dataset partitioned and
+// batched for the modeled device, but not yet executed. It separates the
+// cheap, cancellable planning work from kernel execution so callers (the
+// engine above all) can interleave batches from many plans onto a shared
+// device fleet.
+type BatchPlan struct {
+	cfg         Config
+	tiles       int
+	batches     []*ipukernel.Batch
+	comparisons int
+	reuseFactor float64
+}
+
+// BuildBatches partitions and batches the dataset's comparisons without
+// executing anything. The context is checked between the pipeline's
+// stages (validate → budget → partition → batch), so a cancelled
+// submission aborts before burning kernel time.
+func BuildBatches(ctx context.Context, d *workload.Dataset, cfg Config) (*BatchPlan, error) {
+	cfg = cfg.Normalized()
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -154,9 +192,9 @@ func NewPlan(d *workload.Dataset, cfg Config) (*Plan, error) {
 			return nil, err
 		}
 	}
-	tiles := cfg.TilesPerIPU
-	if tiles <= 0 || tiles > cfg.Model.Tiles {
-		tiles = cfg.Model.Tiles
+	tiles := cfg.EffectiveTiles()
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Cap partition size so the workload spreads over every tile.
@@ -172,59 +210,72 @@ func NewPlan(d *workload.Dataset, cfg Config) (*Plan, error) {
 		Reuse:     cfg.Partition,
 		MaxCmps:   maxCmps,
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	batches, err := partition.MakeBatchesLimit(d, items, tiles, cfg.Kernel, cfg.Model, cfg.MaxBatchJobs)
 	if err != nil {
 		return nil, err
 	}
-
-	p := &Plan{
+	return &BatchPlan{
 		cfg:         cfg,
 		tiles:       tiles,
-		results:     make([]ipukernel.AlignOut, len(d.Comparisons)),
+		batches:     batches,
+		comparisons: len(d.Comparisons),
 		reuseFactor: partition.ReuseFactor(d, items),
-	}
+	}, nil
+}
 
-	// Batches are independent units of work (disjoint comparisons, no
-	// shared device state that affects results), so plan building
-	// executes them concurrently: a GOMAXPROCS-bounded worker pool pulls
-	// batch indexes from an atomic cursor, each worker driving its own
-	// modeled device. The merge below runs sequentially in batch order —
-	// results are keyed by GlobalID and the aggregates are
-	// order-independent sums — so the plan (and every Report scheduled
-	// from it) is identical for any worker count.
-	outs := make([]*ipukernel.BatchResult, len(batches))
-	errs := make([]error, len(batches))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(batches) {
-		workers = len(batches)
-	}
-	kcfg := cfg.Kernel
-	if kcfg.Parallelism <= 0 && workers > 0 {
-		// Split the CPU budget between the batch pool and each Run's
-		// tile pool so nested pools do not multiply into P² goroutines.
-		kcfg.Parallelism = maxInt(1, runtime.GOMAXPROCS(0)/workers)
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			dev := ipu.New(ipu.Config{Model: cfg.Model, TilesEnabled: tiles})
-			for {
-				bi := int(cursor.Add(1)) - 1
-				if bi >= len(batches) {
-					return
-				}
-				outs[bi], errs[bi] = ipukernel.Run(dev, batches[bi], kcfg)
-			}
-		}()
-	}
-	wg.Wait()
+// Batches returns the number of supersteps in the build.
+func (bp *BatchPlan) Batches() int { return len(bp.batches) }
 
+// Comparisons returns the dataset's comparison count.
+func (bp *BatchPlan) Comparisons() int { return bp.comparisons }
+
+// NewDevice creates a modeled device matching the plan's configuration.
+// Executors create one per goroutine and reuse it across batches (and,
+// in the engine, across plans with the same configuration).
+func (bp *BatchPlan) NewDevice() *ipu.Device {
+	return ipu.New(ipu.Config{Model: bp.cfg.Model, TilesEnabled: bp.tiles})
+}
+
+// KernelConfig resolves the kernel configuration for an executor pool of
+// the given width: an unset Parallelism splits the CPU budget between the
+// pool and each Run's tile pool so nested pools do not multiply into P²
+// goroutines.
+func (bp *BatchPlan) KernelConfig(poolWorkers int) ipukernel.Config {
+	kcfg := bp.cfg.Kernel
+	if kcfg.Parallelism <= 0 && poolWorkers > 0 {
+		kcfg.Parallelism = max(1, runtime.GOMAXPROCS(0)/poolWorkers)
+	}
+	return kcfg
+}
+
+// ExecBatch runs batch i on dev. Batches are independent (disjoint
+// comparisons, no shared device state that affects results), so any
+// executor may run any subset in any order; per-batch results are
+// deterministic.
+func (bp *BatchPlan) ExecBatch(dev *ipu.Device, i int, kcfg ipukernel.Config) (*ipukernel.BatchResult, error) {
+	return ipukernel.Run(dev, bp.batches[i], kcfg)
+}
+
+// AssemblePlan merges executed batch results into a replayable Plan. The
+// merge runs in batch order — results are keyed by GlobalID and the
+// aggregates are order-independent sums — so the plan (and every Report
+// scheduled from it) is identical for any execution interleaving.
+func AssemblePlan(bp *BatchPlan, outs []*ipukernel.BatchResult) (*Plan, error) {
+	if len(outs) != len(bp.batches) {
+		return nil, fmt.Errorf("driver: %d batch results for %d batches", len(outs), len(bp.batches))
+	}
+	p := &Plan{
+		cfg:         bp.cfg,
+		tiles:       bp.tiles,
+		results:     make([]ipukernel.AlignOut, bp.comparisons),
+		reuseFactor: bp.reuseFactor,
+	}
 	for bi, res := range outs {
-		if err := errs[bi]; err != nil {
-			return nil, err
+		if res == nil {
+			return nil, fmt.Errorf("driver: batch %d has no result", bi)
 		}
 		for _, o := range res.Out {
 			if o.GlobalID < 0 || o.GlobalID >= len(p.results) {
@@ -254,6 +305,58 @@ func NewPlan(d *workload.Dataset, cfg Config) (*Plan, error) {
 		}
 	}
 	return p, nil
+}
+
+// NewPlan partitions, batches and executes the dataset's comparisons on
+// the modeled device, producing a replayable schedule.
+func NewPlan(d *workload.Dataset, cfg Config) (*Plan, error) {
+	return NewPlanContext(context.Background(), d, cfg)
+}
+
+// NewPlanContext is NewPlan with cancellation: the context propagates
+// into plan building and is checked before each batch execution, so a
+// cancelled caller stops burning CPU at the next batch boundary.
+func NewPlanContext(ctx context.Context, d *workload.Dataset, cfg Config) (*Plan, error) {
+	bp, err := BuildBatches(ctx, d, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// A GOMAXPROCS-bounded worker pool pulls batch indexes from an atomic
+	// cursor, each worker driving its own modeled device.
+	outs := make([]*ipukernel.BatchResult, len(bp.batches))
+	errs := make([]error, len(bp.batches))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(bp.batches) {
+		workers = len(bp.batches)
+	}
+	kcfg := bp.KernelConfig(workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dev := bp.NewDevice()
+			for {
+				bi := int(cursor.Add(1)) - 1
+				if bi >= len(bp.batches) || ctx.Err() != nil {
+					return
+				}
+				outs[bi], errs[bi] = bp.ExecBatch(dev, bi, kcfg)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return AssemblePlan(bp, outs)
 }
 
 // Batches returns the number of supersteps in the plan.
@@ -327,13 +430,6 @@ func (p *Plan) Schedule(ipus int) *Report {
 	rep.WallSeconds = wall
 	rep.TransferSeconds = linkBusy
 	return rep
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Run plans and schedules in one step.

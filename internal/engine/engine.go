@@ -1,0 +1,507 @@
+// Package engine exposes the modeled IPU system as a persistent
+// asynchronous service, the way the paper's library does on real
+// hardware (create_batches → async_submit → blocking_join): a long-lived
+// Engine owns the device fleet, many clients Submit datasets
+// concurrently, and each submission streams its results back batch by
+// batch while the host keeps producing work.
+//
+// The engine layers on the driver's staged pipeline: Submit builds a
+// BatchPlan asynchronously (cancellable via the submission's context),
+// then a fixed pool of device executors interleaves batches from every
+// active job onto the shared fleet — earliest-free device, per-job fair
+// share — so one huge submission cannot starve small ones. A bounded
+// admission queue provides backpressure: Submit blocks once QueueDepth
+// jobs are in flight.
+//
+// Reports are bit-identical to driver.Run for the same dataset and
+// configuration regardless of submission order, queue depth or executor
+// count: batches are independent, per-batch results deterministic, and
+// the final report is assembled in batch order from the job's own plan.
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
+	"github.com/sram-align/xdropipu/internal/driver"
+	"github.com/sram-align/xdropipu/internal/ipu"
+	"github.com/sram-align/xdropipu/internal/ipukernel"
+	"github.com/sram-align/xdropipu/internal/platform"
+	"github.com/sram-align/xdropipu/internal/workload"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// DefaultQueueDepth bounds in-flight submissions when WithQueueDepth is
+// not given.
+const DefaultQueueDepth = 16
+
+// Engine is a persistent asynchronous alignment service over the modeled
+// device fleet.
+type Engine struct {
+	cfg        driver.Config
+	queueDepth int
+	executors  int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	active []*Job // built, unfinished jobs with batches left to issue
+	live   int    // admitted jobs not yet finished
+	busy   int    // executors currently running a batch
+	closed bool
+	seq    int64
+
+	// stats, guarded by mu
+	doneJobs    int64
+	doneBatches int64
+	doneCells   int64
+
+	closedCh  chan struct{}
+	slots     chan struct{} // admission tokens, cap queueDepth
+	wgJobs    sync.WaitGroup
+	wgWorkers sync.WaitGroup
+}
+
+// Option configures an Engine at construction.
+type Option func(*Engine)
+
+// WithDriverConfig replaces the whole driver configuration (fleet,
+// kernel, partitioning). Later options still apply on top.
+func WithDriverConfig(cfg driver.Config) Option { return func(e *Engine) { e.cfg = cfg } }
+
+// WithModel selects the IPU generation.
+func WithModel(m platform.IPUModel) Option { return func(e *Engine) { e.cfg.Model = m } }
+
+// WithIPUs sets the modeled device count (NUMBER_IPUS).
+func WithIPUs(n int) Option { return func(e *Engine) { e.cfg.IPUs = n } }
+
+// WithTilesPerIPU restricts tiles per device (0 = all).
+func WithTilesPerIPU(n int) Option { return func(e *Engine) { e.cfg.TilesPerIPU = n } }
+
+// WithKernel configures the on-tile X-Drop codelet.
+func WithKernel(k ipukernel.Config) Option { return func(e *Engine) { e.cfg.Kernel = k } }
+
+// WithPartition toggles graph-based sequence reuse (§4.3).
+func WithPartition(on bool) Option { return func(e *Engine) { e.cfg.Partition = on } }
+
+// WithSeqBudget caps a partition's sequence payload in bytes.
+func WithSeqBudget(b int) Option { return func(e *Engine) { e.cfg.SeqBudget = b } }
+
+// WithMaxBatchJobs caps comparisons per batch; finer batches interleave
+// concurrent jobs more smoothly.
+func WithMaxBatchJobs(n int) Option { return func(e *Engine) { e.cfg.MaxBatchJobs = n } }
+
+// WithBatchOverhead sets the modeled host-side cost per batch.
+func WithBatchOverhead(sec float64) Option {
+	return func(e *Engine) { e.cfg.BatchOverheadSeconds = sec }
+}
+
+// WithQueueDepth bounds in-flight submissions; Submit blocks (or fails
+// on context cancellation) once the queue is full.
+func WithQueueDepth(n int) Option { return func(e *Engine) { e.queueDepth = n } }
+
+// WithExecutors sets the host-side executor pool width (0 → GOMAXPROCS).
+// Executor count changes throughput only, never results or reports.
+func WithExecutors(n int) Option { return func(e *Engine) { e.executors = n } }
+
+// New starts an engine and its executor pool. Close releases it.
+func New(opts ...Option) *Engine {
+	e := &Engine{queueDepth: DefaultQueueDepth}
+	for _, o := range opts {
+		o(e)
+	}
+	e.normalize()
+	e.cond = sync.NewCond(&e.mu)
+	e.closedCh = make(chan struct{})
+	e.slots = make(chan struct{}, e.queueDepth)
+	for i := 0; i < e.executors; i++ {
+		e.wgWorkers.Add(1)
+		go e.executor()
+	}
+	return e
+}
+
+func (e *Engine) normalize() {
+	e.cfg = e.cfg.Normalized()
+	if e.queueDepth <= 0 {
+		e.queueDepth = DefaultQueueDepth
+	}
+	if e.executors <= 0 {
+		e.executors = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Config returns the normalized driver configuration the fleet runs.
+func (e *Engine) Config() driver.Config { return e.cfg }
+
+// Stats is a snapshot of engine-lifetime aggregates.
+type Stats struct {
+	// JobsDone counts completed (not cancelled/failed) submissions.
+	JobsDone int64
+	// BatchesDone counts executed batches across all jobs.
+	BatchesDone int64
+	// CellsDone sums computed DP cells across executed batches.
+	CellsDone int64
+	// JobsLive counts admitted, unfinished submissions.
+	JobsLive int
+}
+
+// Stats returns engine-lifetime counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		JobsDone:    e.doneJobs,
+		BatchesDone: e.doneBatches,
+		CellsDone:   e.doneCells,
+		JobsLive:    e.live,
+	}
+}
+
+// Submit enqueues a dataset for alignment and returns immediately with a
+// Job handle. It blocks only for admission when QueueDepth jobs are
+// already in flight; ctx cancels both the wait and the job itself
+// (planning and any not-yet-issued batches).
+func (e *Engine) Submit(ctx context.Context, d *workload.Dataset) (*Job, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	select {
+	case <-e.closedCh:
+		return nil, ErrClosed
+	default:
+	}
+	select {
+	case e.slots <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-e.closedCh:
+		return nil, ErrClosed
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		<-e.slots
+		return nil, ErrClosed
+	}
+	e.seq++
+	j := &Job{
+		eng:     e,
+		ctx:     ctx,
+		seq:     e.seq,
+		dataset: d,
+		built:   make(chan struct{}),
+		doneCh:  make(chan struct{}),
+	}
+	e.live++
+	e.wgJobs.Add(1)
+	e.mu.Unlock()
+	go e.runJob(j)
+	return j, nil
+}
+
+// Close stops admissions, waits for every in-flight job to finish and
+// shuts the executor pool down. It is idempotent; Submit afterwards
+// returns ErrClosed.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wgJobs.Wait()
+		e.wgWorkers.Wait()
+		return nil
+	}
+	e.closed = true
+	close(e.closedCh)
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wgJobs.Wait()
+	e.mu.Lock()
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wgWorkers.Wait()
+	return nil
+}
+
+// runJob builds the job's plan (cancellable), registers it with the
+// scheduler, then watches for cancellation until the job finishes.
+func (e *Engine) runJob(j *Job) {
+	defer e.wgJobs.Done()
+	bp, err := driver.BuildBatches(j.ctx, j.dataset, e.cfg)
+
+	// Until the job is registered below, runJob is the only goroutine
+	// that can settle it, so no finished re-check is needed here.
+	e.mu.Lock()
+	if err != nil {
+		e.finishLocked(j, nil, err)
+		e.mu.Unlock()
+		return
+	}
+	j.bp = bp
+	j.outs = make([]*ipukernel.BatchResult, bp.Batches())
+	close(j.built)
+	if bp.Batches() == 0 {
+		e.mu.Unlock()
+		e.complete(j, bp)
+		return
+	}
+	e.active = append(e.active, j)
+	e.cond.Broadcast()
+	e.mu.Unlock()
+
+	select {
+	case <-j.ctx.Done():
+		e.mu.Lock()
+		if !j.finished {
+			e.finishLocked(j, nil, j.ctx.Err())
+		}
+		e.mu.Unlock()
+	case <-j.doneCh:
+	}
+}
+
+// pickLocked chooses the next batch to issue: among built jobs with
+// batches left, the one with the fewest issued batches (ties broken by
+// submission order) — a per-job fair share that keeps a flood of batches
+// from one client from starving the rest.
+func (e *Engine) pickLocked() (*Job, int) {
+	var best *Job
+	for _, j := range e.active {
+		if j.finished || j.nextIssue >= len(j.outs) {
+			continue
+		}
+		if best == nil || j.nextIssue < best.nextIssue ||
+			(j.nextIssue == best.nextIssue && j.seq < best.seq) {
+			best = j
+		}
+	}
+	if best == nil {
+		return nil, -1
+	}
+	bi := best.nextIssue
+	best.nextIssue++
+	return best, bi
+}
+
+// executor is one device-executor goroutine: it owns a modeled device
+// and pulls batches from whichever job the fair-share policy selects —
+// the earliest-free-device rule falls out of executors pulling work the
+// moment they go idle.
+func (e *Engine) executor() {
+	defer e.wgWorkers.Done()
+	// The engine's configuration is fixed, so one device per executor,
+	// created lazily on first work, serves every job.
+	var dev *ipu.Device
+	for {
+		e.mu.Lock()
+		var j *Job
+		var bi int
+		for {
+			j, bi = e.pickLocked()
+			if j != nil {
+				break
+			}
+			if e.closed && e.live == 0 {
+				e.mu.Unlock()
+				return
+			}
+			e.cond.Wait()
+		}
+		e.pruneLocked()
+		e.busy++
+		// Split the CPU budget between each batch's tile pool and the
+		// executors that will plausibly run alongside this one: the busy
+		// ones plus however many of the remaining runnable batches the
+		// pool can absorb. A lone batch gets the whole machine; a
+		// saturated engine gives each batch one thread — and a burst of
+		// picks converges immediately instead of letting the first few
+		// batches keep full-width pools. Parallelism never affects
+		// results, only wall time.
+		width := e.busy + e.runnableLocked()
+		if width > e.executors {
+			width = e.executors
+		}
+		// Capture the plan while locked: a settled job's bp is released,
+		// and this batch may race a cancellation.
+		bp := j.bp
+		kcfg := bp.KernelConfig(width)
+		e.mu.Unlock()
+		if dev == nil {
+			dev = bp.NewDevice()
+		}
+		out, err := bp.ExecBatch(dev, bi, kcfg)
+		e.deliver(j, bi, out, err)
+	}
+}
+
+// runnableLocked counts batches not yet handed to an executor.
+func (e *Engine) runnableLocked() int {
+	n := 0
+	for _, j := range e.active {
+		if !j.finished {
+			n += len(j.outs) - j.nextIssue
+		}
+	}
+	return n
+}
+
+// pruneLocked drops jobs with nothing left to issue from the active list.
+func (e *Engine) pruneLocked() {
+	kept := e.active[:0]
+	for _, j := range e.active {
+		if !j.finished && j.nextIssue < len(j.outs) {
+			kept = append(kept, j)
+		}
+	}
+	for i := len(kept); i < len(e.active); i++ {
+		e.active[i] = nil
+	}
+	e.active = kept
+}
+
+// deliver records one executed batch: streams it to the job's consumer
+// and, on the last batch, assembles the plan and schedules the report.
+func (e *Engine) deliver(j *Job, bi int, out *ipukernel.BatchResult, err error) {
+	e.mu.Lock()
+	e.busy--
+	if j.finished { // cancelled or failed while this batch ran
+		e.mu.Unlock()
+		return
+	}
+	if err != nil {
+		e.finishLocked(j, nil, err)
+		e.mu.Unlock()
+		return
+	}
+	// Copy the streamed view outside the lock when a consumer is
+	// already attached — the O(batch-results) copy must not serialize
+	// the scheduler. The stream can still open between the two critical
+	// sections; out is not in j.outs yet, so the replay cannot duplicate
+	// this batch, and the late copy below covers the send.
+	streaming := j.streaming
+	e.mu.Unlock()
+	var upd Update
+	if streaming {
+		upd = streamUpdate(j, bi, out)
+	}
+	e.mu.Lock()
+	if j.finished { // cancelled while copying
+		e.mu.Unlock()
+		return
+	}
+	j.outs[bi] = out
+	j.done++
+	e.doneBatches++
+	e.doneCells += out.Cells
+	if j.streaming {
+		if !streaming {
+			upd = streamUpdate(j, bi, out)
+		}
+		j.updates <- upd
+	}
+	last := j.done == len(j.outs)
+	bp := j.bp
+	e.mu.Unlock()
+	if last {
+		e.complete(j, bp)
+	}
+}
+
+// complete assembles the finished job's report — bit-identical to
+// driver.Run on the same dataset and configuration. The merge is
+// O(comparisons), so it runs outside the engine lock: every batch is
+// delivered by now (this goroutine delivered the last one), nothing
+// else writes j.outs, and a racing cancellation simply wins the
+// settlement below. The caller captured bp under the lock, since a
+// settled job releases its plan.
+func (e *Engine) complete(j *Job, bp *driver.BatchPlan) {
+	plan, err := driver.AssemblePlan(bp, j.outs)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if j.finished { // cancelled while assembling
+		return
+	}
+	if err != nil {
+		e.finishLocked(j, nil, err)
+		return
+	}
+	e.doneJobs++
+	e.finishLocked(j, plan.Schedule(e.cfg.IPUs), nil)
+}
+
+// streamUpdate builds the streamed view of batch bi. The results are
+// copied: AssemblePlan reads the same slice later, and a consumer
+// mutating its stream must not corrupt the final report. The copy
+// happens only for jobs whose consumer opened the stream — the
+// channel's capacity is the batch count, so sends never block an
+// executor even if the consumer stops reading.
+func streamUpdate(j *Job, bi int, out *ipukernel.BatchResult) Update {
+	return Update{
+		Batch:   bi,
+		Batches: len(j.outs),
+		Results: append([]ipukernel.AlignOut(nil), out.Out...),
+		Seconds: out.Seconds,
+	}
+}
+
+// openStreamLocked creates the job's update channel on first demand and
+// replays already-delivered batches into it, so Results works the same
+// no matter when it is called.
+func (j *Job) openStreamLocked() {
+	if j.updates != nil {
+		return
+	}
+	j.updates = make(chan Update, len(j.outs))
+	for bi, out := range j.outs {
+		if out != nil {
+			j.updates <- streamUpdate(j, bi, out)
+		}
+	}
+	if j.finished {
+		close(j.updates)
+	} else {
+		j.streaming = true
+	}
+}
+
+// finishLocked settles a job exactly once: records the outcome, closes
+// the stream, drops the job from the scheduler, releases the admission
+// slot and wakes everyone.
+func (e *Engine) finishLocked(j *Job, rep *driver.Report, err error) {
+	j.finished = true
+	j.report = rep
+	j.err = err
+	if j.streaming {
+		close(j.updates)
+		j.streaming = false
+	}
+	close(j.doneCh)
+	// Release the batched sequence payload and the input dataset: a
+	// caller-retained Job handle must pin only the report and the
+	// replayable outs, not the submission's working set. Executors
+	// capture bp into locals under the lock before using it.
+	j.bp = nil
+	j.dataset = nil
+	// Drop the job now rather than at the next pick: an idle engine must
+	// not keep a cancelled job's dataset and partial results alive.
+	e.pruneLocked()
+	e.live--
+	<-e.slots
+	e.cond.Broadcast()
+}
+
+// RunOnce serves a single synchronous submission on a throwaway engine —
+// the compatibility path behind RunOnIPU and the nil-engine backends.
+// Results and report are bit-identical to driver.Run.
+func RunOnce(ctx context.Context, cfg driver.Config, d *workload.Dataset) (*driver.Report, error) {
+	e := New(WithDriverConfig(cfg))
+	defer e.Close()
+	job, err := e.Submit(ctx, d)
+	if err != nil {
+		return nil, err
+	}
+	return job.Wait(ctx)
+}

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"context"
+
+	"github.com/sram-align/xdropipu/internal/driver"
+	"github.com/sram-align/xdropipu/internal/ipukernel"
+	"github.com/sram-align/xdropipu/internal/workload"
+)
+
+// Job is one asynchronous submission's handle: wait for the full report,
+// or stream results batch by batch as the fleet completes them.
+type Job struct {
+	eng     *Engine
+	ctx     context.Context
+	seq     int64
+	dataset *workload.Dataset
+
+	built  chan struct{} // closed once the plan is built and the stream exists
+	doneCh chan struct{} // closed once the job settles
+
+	// All fields below are guarded by eng.mu.
+	bp        *driver.BatchPlan
+	updates   chan Update
+	streaming bool // updates is open
+	nextIssue int  // batches handed to executors
+	done      int  // batches delivered
+	outs      []*ipukernel.BatchResult
+	finished  bool
+	report    *driver.Report
+	err       error
+}
+
+// Update is one executed batch of a job, streamed in completion order.
+type Update struct {
+	// Batch is the batch's index in the job's schedule; Batches is the
+	// schedule's total, so consumers can track progress.
+	Batch, Batches int
+	// Results holds the batch's comparison results; GlobalID indexes the
+	// submitted dataset's comparison list.
+	Results []ipukernel.AlignOut
+	// Seconds is the batch's modeled on-device compute time.
+	Seconds float64
+}
+
+// Done returns a channel closed when the job settles (report ready,
+// failed, or cancelled).
+func (j *Job) Done() <-chan struct{} { return j.doneCh }
+
+// Err returns the job's terminal error (nil while running or on success).
+func (j *Job) Err() error {
+	j.eng.mu.Lock()
+	defer j.eng.mu.Unlock()
+	if !j.finished {
+		return nil
+	}
+	return j.err
+}
+
+// Wait blocks until the job settles and returns its report — bit-identical
+// to driver.Run on the same dataset and engine configuration. The context
+// bounds only this wait; cancelling it does not cancel the job (cancel the
+// Submit context for that).
+func (j *Job) Wait(ctx context.Context) (*driver.Report, error) {
+	select {
+	case <-j.doneCh:
+		return j.report, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Results streams the job's batches as they complete; batches executed
+// before the first Results call are replayed into the stream, so it is
+// complete whenever it is opened. The channel is buffered for the whole
+// schedule — executors never block on a slow consumer — and is closed
+// when the job settles, so ranging over it terminates; check Err
+// afterwards to distinguish completion from cancellation. Results blocks
+// until planning finishes (it needs the schedule's size); a job that
+// settles before then yields a closed, empty stream.
+func (j *Job) Results() <-chan Update {
+	select {
+	case <-j.built:
+	case <-j.doneCh:
+		select {
+		case <-j.built:
+		default: // settled before (or without) a plan
+			ch := make(chan Update)
+			close(ch)
+			return ch
+		}
+	}
+	j.eng.mu.Lock()
+	defer j.eng.mu.Unlock()
+	j.openStreamLocked()
+	return j.updates
+}

@@ -1,6 +1,9 @@
 package workload
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func testDataset() *Dataset {
 	return &Dataset{
@@ -60,5 +63,37 @@ func TestAlignmentSpans(t *testing.T) {
 	a := Alignment{Score: 5, BegH: 10, EndH: 30, BegV: 8, EndV: 20}
 	if a.SpanH() != 20 || a.SpanV() != 12 {
 		t.Errorf("spans = %d, %d", a.SpanH(), a.SpanV())
+	}
+}
+
+// TestValidateSeedRangeMessages: out-of-range seeds are reported as seed
+// errors (not missing-sequence errors), since service clients see these
+// messages verbatim.
+func TestValidateSeedRangeMessages(t *testing.T) {
+	outOfRange := []Comparison{
+		{H: 0, V: 1, SeedH: 91, SeedV: 0, SeedLen: 10},  // H seed past end
+		{H: 0, V: 1, SeedH: 0, SeedV: 71, SeedLen: 10},  // V seed past end
+		{H: 0, V: 1, SeedH: -5, SeedV: 0, SeedLen: 10},  // negative H seed
+		{H: 0, V: 1, SeedH: 0, SeedV: -1, SeedLen: 10},  // negative V seed
+		{H: 0, V: 1, SeedH: 0, SeedV: 0, SeedLen: 200},  // seed longer than both
+		{H: 0, V: 1, SeedH: 10, SeedV: 10, SeedLen: -3}, // non-positive seed
+	}
+	for i, c := range outOfRange {
+		d := testDataset()
+		d.Comparisons = []Comparison{c}
+		err := d.Validate()
+		if err == nil {
+			t.Errorf("case %d: out-of-range seed accepted", i)
+			continue
+		}
+		if !strings.Contains(err.Error(), "seed out of range") {
+			t.Errorf("case %d: error %q does not report the seed", i, err)
+		}
+	}
+	// Boundary cases stay valid: seed ending exactly at a sequence end.
+	d := testDataset()
+	d.Comparisons = []Comparison{{H: 0, V: 1, SeedH: 90, SeedV: 70, SeedLen: 10}}
+	if err := d.Validate(); err != nil {
+		t.Errorf("boundary seed rejected: %v", err)
 	}
 }

@@ -6,19 +6,26 @@
 //
 //   - the memory-restricted X-Drop aligner and its variants (Align,
 //     ExtendSeed, Params);
-//   - the simulated IPU execution stack (RunOnIPU with IPUConfig);
+//   - the persistent asynchronous Engine (NewEngine, Submit, Job) —
+//     the service interface for concurrent clients;
+//   - the one-shot simulated IPU run (RunOnIPU with IPUConfig), a thin
+//     synchronous wrapper over a throwaway Engine;
 //   - the ELBA and PASTIS pipelines (AssembleELBA, SearchPASTIS);
 //   - the CPU/GPU baselines of the paper's evaluation.
 //
-// See README.md for a quickstart and DESIGN.md for the system inventory.
+// See README.md for a quickstart and DESIGN.md for the layer diagram and
+// system inventory.
 package xdropipu
 
 import (
+	"context"
+
 	"github.com/sram-align/xdropipu/internal/backend"
 	"github.com/sram-align/xdropipu/internal/baselines"
 	"github.com/sram-align/xdropipu/internal/core"
 	"github.com/sram-align/xdropipu/internal/driver"
 	"github.com/sram-align/xdropipu/internal/elba"
+	"github.com/sram-align/xdropipu/internal/engine"
 	"github.com/sram-align/xdropipu/internal/ipukernel"
 	"github.com/sram-align/xdropipu/internal/pastis"
 	"github.com/sram-align/xdropipu/internal/platform"
@@ -105,10 +112,71 @@ var (
 	BOW = platform.BOW
 )
 
+// Asynchronous service interface.
+type (
+	// Engine is a persistent asynchronous alignment service: it owns the
+	// modeled device fleet and accepts concurrent Submit calls, fairly
+	// interleaving their batches.
+	Engine = engine.Engine
+	// Job is one submission's handle (Wait for the report, Results to
+	// stream batches as they complete).
+	Job = engine.Job
+	// EngineUpdate is one streamed batch of a job.
+	EngineUpdate = engine.Update
+	// EngineOption configures NewEngine.
+	EngineOption = engine.Option
+	// EngineStats is a snapshot of engine-lifetime counters.
+	EngineStats = engine.Stats
+)
+
+// ErrEngineClosed is returned by Engine.Submit after Close.
+var ErrEngineClosed = engine.ErrClosed
+
+// Engine construction options.
+var (
+	// WithModel selects the IPU generation (GC200, BOW).
+	WithModel = engine.WithModel
+	// WithIPUs sets the modeled device count.
+	WithIPUs = engine.WithIPUs
+	// WithTilesPerIPU restricts tiles per device.
+	WithTilesPerIPU = engine.WithTilesPerIPU
+	// WithKernel configures the on-tile codelet.
+	WithKernel = engine.WithKernel
+	// WithPartition toggles graph-based sequence reuse.
+	WithPartition = engine.WithPartition
+	// WithSeqBudget caps a partition's sequence payload.
+	WithSeqBudget = engine.WithSeqBudget
+	// WithMaxBatchJobs caps comparisons per batch.
+	WithMaxBatchJobs = engine.WithMaxBatchJobs
+	// WithBatchOverhead sets the modeled per-batch host cost.
+	WithBatchOverhead = engine.WithBatchOverhead
+	// WithQueueDepth bounds in-flight submissions (backpressure).
+	WithQueueDepth = engine.WithQueueDepth
+	// WithExecutors sets the host-side executor pool width.
+	WithExecutors = engine.WithExecutors
+	// WithIPUConfig replaces the whole driver configuration at once.
+	WithIPUConfig = engine.WithDriverConfig
+)
+
+// NewEngine starts a persistent asynchronous alignment engine. Close it
+// when done:
+//
+//	eng := xdropipu.NewEngine(xdropipu.WithIPUs(4))
+//	defer eng.Close()
+//	job, err := eng.Submit(ctx, dataset)
+//	for u := range job.Results() { ... } // streamed batch results
+//	report, err := job.Wait(ctx)
+func NewEngine(opts ...EngineOption) *Engine {
+	return engine.New(opts...)
+}
+
 // RunOnIPU aligns every comparison of a dataset on the simulated IPU
-// system and returns the report (results, modeled times, traffic).
+// system and returns the report (results, modeled times, traffic). It is
+// the simple synchronous path: a throwaway Engine serving exactly one
+// submission. Long-lived callers with concurrent work should hold a
+// NewEngine instead.
 func RunOnIPU(d *Dataset, cfg IPUConfig) (*IPUReport, error) {
-	return driver.Run(d, cfg)
+	return engine.RunOnce(context.Background(), cfg, d)
 }
 
 // Pipelines.
