@@ -41,40 +41,48 @@ func main() {
 	if *protein {
 		alpha = seqio.ProteinAlphabet
 	}
-	recs, err := seqio.ReadFastaFile(*in, alpha)
+	// Stream the FASTA records straight into an arena: one slab holds Ω,
+	// duplicate records share storage, and the whole execution stack
+	// references that single copy.
+	f, err := os.Open(*in)
 	if err != nil {
 		fail(err)
 	}
-	d := &workload.Dataset{Name: *in, Protein: *protein}
-	for _, r := range recs {
-		d.Sequences = append(d.Sequences, r.Data)
+	arena := workload.NewArena(0, 0)
+	ids, err := arena.AppendFasta(f, alpha)
+	f.Close()
+	if err != nil {
+		fail(err)
 	}
+	seqs := arena.SeqViews()
 
+	var cmps []workload.Comparison
 	if *allPairs {
-		cmps, st, err := overlap.Detect(d.Sequences, overlap.Options{
+		var st overlap.Stats
+		cmps, st, err = overlap.Detect(seqs, overlap.Options{
 			K: *k, MinKmerFreq: 2, MinSharedSeeds: 2, Protein: *protein,
 		})
 		if err != nil {
 			fail(err)
 		}
-		d.Comparisons = cmps
 		fmt.Fprintf(os.Stderr, "overlap detection: %d candidate pairs from %d reliable k-mers\n",
 			st.Comparisons, st.ReliableKmers)
 	} else {
-		for i := 0; i+1 < len(d.Sequences); i += 2 {
-			h, v := d.Sequences[i], d.Sequences[i+1]
+		for i := 0; i+1 < len(seqs); i += 2 {
+			h, v := seqs[i], seqs[i+1]
 			if len(h) < *k || len(v) < *k {
 				continue
 			}
-			d.Comparisons = append(d.Comparisons, workload.Comparison{
+			cmps = append(cmps, workload.Comparison{
 				H: i, V: i + 1,
 				SeedH: (len(h) - *k) / 2, SeedV: (len(v) - *k) / 2, SeedLen: *k,
 			})
 		}
 	}
-	if len(d.Comparisons) == 0 {
+	if len(cmps) == 0 {
 		fail(fmt.Errorf("no comparisons to run"))
 	}
+	d := arena.NewDataset(*in, workload.PlanOf(cmps), *protein)
 
 	params := xdropipu.Params{Scorer: xdropipu.DNAScorer, Gap: -1, X: *x, DeltaB: *deltaB}
 	if *protein {
@@ -120,7 +128,7 @@ func main() {
 	for i, r := range rep.Results {
 		c := d.Comparisons[i]
 		fmt.Printf("%s\t%s\t%d\t%d\t%d\t%d\t%d\n",
-			recs[c.H].ID, recs[c.V].ID, r.Score, r.BegH, r.EndH, r.BegV, r.EndV)
+			ids[c.H], ids[c.V], r.Score, r.BegH, r.EndH, r.BegV, r.EndV)
 	}
 	fmt.Fprintf(os.Stderr,
 		"%d alignments on %d simulated IPU(s): device %.3gms, end-to-end %.3gms, %.0f GCUPS, %d batches, reuse %.2f×\n",

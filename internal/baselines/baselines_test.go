@@ -103,9 +103,13 @@ func TestVecEfficiencyGrowsWithBand(t *testing.T) {
 }
 
 func TestProteinBaseline(t *testing.T) {
-	d, _ := synth.ProteinFamilies(synth.ProteinFamiliesSpec{
+	gen, _ := synth.ProteinFamilies(synth.ProteinFamiliesSpec{
 		Families: 4, MembersPerFamily: 3, MeanLen: 250, MutRate: 0.15, Seed: 2,
 	})
+	// The generator's dataset is arena-backed and immutable (identical
+	// members share interned spans); seed planting below mutates in
+	// place, so work on a private deep copy of the pool.
+	d := gen.Clone()
 	// Give every in-family pair a comparison with a centred seed.
 	for f := 0; f < 4; f++ {
 		base := f * 3

@@ -16,7 +16,10 @@ import (
 // footprint headline for 25 kb sequences.
 func Memory(opt Options) error {
 	opt = opt.withDefaults()
-	d := opt.Ecoli()
+	// The generator's dataset is arena-backed (sequences are spans of one
+	// immutable, content-interned slab), and this experiment plants false
+	// seeds in place — so work on a private deep copy of the pool.
+	d := opt.Ecoli().Clone()
 	if len(d.Comparisons) > opt.n(400) {
 		d.Comparisons = d.Comparisons[:opt.n(400)]
 	}
@@ -49,10 +52,10 @@ func Memory(opt Options) error {
 	maxDelta := 0
 	for _, c := range d.Comparisons {
 		lh, lv, rh, rv := d.ExtensionLens(c)
-		if m := minInt(lh, lv); m > maxDelta {
+		if m := min(lh, lv); m > maxDelta {
 			maxDelta = m
 		}
-		if m := minInt(rh, rv); m > maxDelta {
+		if m := min(rh, rv); m > maxDelta {
 			maxDelta = m
 		}
 	}
@@ -125,11 +128,4 @@ func verifyRestricted(d *workload.Dataset, x, deltaB, sample int) bool {
 		}
 	}
 	return true
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -122,18 +122,21 @@ func Races(opt Options) error {
 	opt = opt.withDefaults()
 	d := opt.Simulated85()
 	// Duplicate one comparison so every unit costs exactly the same —
-	// maximal tie pressure for the deterministic counters.
+	// maximal tie pressure for the deterministic counters. The dataset is
+	// arena-backed, so replace Comparisons with a fresh slice (a [:0]
+	// refill would scribble over the plan's shared cached rows).
 	base := d.Comparisons[0]
-	d.Comparisons = d.Comparisons[:0]
-	for i := 0; i < opt.n(600); i++ {
-		d.Comparisons = append(d.Comparisons, base)
+	cmps := make([]workload.Comparison, opt.n(600))
+	for i := range cmps {
+		cmps[i] = base
 	}
+	d.Comparisons = cmps
 	tab := metrics.NewTable("§4.1.3 — work-stealing races",
 		"strategy", "races", "steals", "duplicated work", "alignments")
 	for _, busy := range []bool{false, true} {
 		cfg := opt.driverConfig(15, 256, 1)
 		// Few tiles → long shared work lists → constant stealing.
-		cfg.TilesPerIPU = maxInt(1, len(d.Comparisons)/24)
+		cfg.TilesPerIPU = max(1, len(d.Comparisons)/24)
 		cfg.Kernel.BusyWaitVariance = busy
 		rep, err := driver.Run(d, cfg)
 		if err != nil {
@@ -152,13 +155,6 @@ func Races(opt Options) error {
 	tab.AddNote("paper: 16K races reduced to 18 over 1.13M alignments")
 	tab.Render(opt.W)
 	return nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Partition reproduces the §6.2 batch-reduction measurement: graph-based

@@ -29,7 +29,7 @@ func Affine(h, v View, p Params) Result {
 // the stored channels, and trace counters accumulated in locals.
 func (w *Workspace) Affine(h, v View, p Params) Result {
 	m, n := h.Len(), v.Len()
-	delta := minI(m, n) + 1
+	delta := min(m, n) + 1
 	w.b0 = growBuf32(w.b0, delta)
 	w.b1 = growBuf32(w.b1, delta)
 	w.b2 = growBuf32(w.b2, delta)
@@ -70,8 +70,8 @@ func (w *Workspace) Affine(h, v View, p Params) Result {
 	bestI, bestD := 0, 0
 
 	for d := 1; d <= m+n; d++ {
-		cl := maxI(d1lo, maxI(0, d-n))
-		cu := minI(d1hi+1, minI(d, m))
+		cl := max(d1lo, max(0, d-n))
+		cu := min(d1hi+1, min(d, m))
 		if cl > cu {
 			break
 		}
@@ -85,7 +85,7 @@ func (w *Workspace) Affine(h, v View, p Params) Result {
 		if i == 0 {
 			// Top boundary (j = d): only the E channel exists, and it
 			// is also the cell's H value (H = max(−∞, E, −∞)).
-			e := maxI32(d1e[o1], d1h[o1]+gapo) + gape
+			e := max(d1e[o1], d1h[o1]+gapo) + gape
 			if e < limit {
 				e = negInf32
 			}
@@ -116,8 +116,8 @@ func (w *Workspace) Affine(h, v View, p Params) Result {
 				vRow := vb[d-base-cnt:][:cnt]
 				for k := range ohRow {
 					hrv := d1hr[k]
-					e := maxI32(d1er[k], hrv+gapo) + gape
-					f := maxI32(flv, hlv+gapo) + gape
+					e := max(d1er[k], hrv+gapo) + gape
+					f := max(flv, hlv+gapo) + gape
 					flv = d1fr[k]
 					s := d2v[k] + int32(tab[hRow[k]][vRow[cnt-1-k]])
 					hlv = hrv
@@ -143,8 +143,8 @@ func (w *Workspace) Affine(h, v View, p Params) Result {
 				vRow := vb[n-d+base:][:cnt]
 				for k := range ohRow {
 					hrv := d1hr[k]
-					e := maxI32(d1er[k], hrv+gapo) + gape
-					f := maxI32(flv, hlv+gapo) + gape
+					e := max(d1er[k], hrv+gapo) + gape
+					f := max(flv, hlv+gapo) + gape
 					flv = d1fr[k]
 					s := d2v[k] + int32(tab[hRow[cnt-1-k]][vRow[k]])
 					hlv = hrv
@@ -172,8 +172,8 @@ func (w *Workspace) Affine(h, v View, p Params) Result {
 				vIdx := vOrg + vD*d + vStep*base
 				for k := range ohRow {
 					hrv := d1hr[k]
-					e := maxI32(d1er[k], hrv+gapo) + gape
-					f := maxI32(flv, hlv+gapo) + gape
+					e := max(d1er[k], hrv+gapo) + gape
+					f := max(flv, hlv+gapo) + gape
 					flv = d1fr[k]
 					s := d2v[k] + int32(tab[hb[hIdx]][vb[vIdx]])
 					hIdx += hStep
@@ -202,7 +202,7 @@ func (w *Workspace) Affine(h, v View, p Params) Result {
 		if peelDiag {
 			// Bottom boundary (j = 0): only the F channel exists, and
 			// it is also the cell's H value (H = max(−∞, −∞, F)).
-			f := maxI32(d1f[i-1+o1], d1h[i-1+o1]+gapo) + gape
+			f := max(d1f[i-1+o1], d1h[i-1+o1]+gapo) + gape
 			if f < limit {
 				f = negInf32
 			}
@@ -269,11 +269,4 @@ func (w *Workspace) Affine(h, v View, p Params) Result {
 	res.EndH = bestI
 	res.EndV = bestD - bestI
 	return res
-}
-
-func maxI32(a, b int32) int32 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -216,19 +216,3 @@ func Align(h, v View, p Params) Result {
 		return Restricted2(h, v, p)
 	}
 }
-
-// maxI returns the larger of two ints (local helper; kept explicit for the
-// hot loops rather than the generic built-in spelling for Go 1.21+ clarity).
-func maxI(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minI(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -184,7 +184,7 @@ func TestWorkBytesMatchesBufferFootprint(t *testing.T) {
 	// The stored buffers carry 2·bufPad guard cells beyond the modeled
 	// window capacity; WorkBytes must equal capacity × element size per
 	// antidiagonal for each variant's buffer count.
-	delta := minI(len(h), len(v)) + 1
+	delta := min(len(h), len(v)) + 1
 	r := w.Restricted2(NewView(h), NewView(v), p)
 	if want := 2 * delta * elem; r.Stats.WorkBytes != want {
 		t.Errorf("restricted2 WorkBytes = %d, want %d (2δ cells × %d B)", r.Stats.WorkBytes, want, elem)

@@ -71,8 +71,8 @@ func ReferenceMatrix(h, v View, p Params) (*Matrix, Result) {
 	lo, hi := 0, 0 // live window of the previous antidiagonal
 
 	for d := 1; d <= m+n; d++ {
-		cl := maxI(lo, maxI(0, d-n))
-		cu := minI(hi+1, minI(d, m))
+		cl := max(lo, max(0, d-n))
+		cu := min(hi+1, min(d, m))
 		if cl > cu {
 			break
 		}
@@ -195,7 +195,7 @@ func Banded(h, v View, halfWidth int, sc scoring.Scorer, gap int) Result {
 	var cells int64
 	best, bestI, bestJ := 0, 0, 0
 	// Row 0.
-	for j := 0; j <= minI(n, halfWidth); j++ {
+	for j := 0; j <= min(n, halfWidth); j++ {
 		prev[j+halfWidth] = j * gap
 		cells++
 	}
@@ -203,8 +203,8 @@ func Banded(h, v View, halfWidth int, sc scoring.Scorer, gap int) Result {
 		for k := range cur {
 			cur[k] = NegInf
 		}
-		jloA := maxI(0, i-halfWidth)
-		jhiA := minI(n, i+halfWidth)
+		jloA := max(0, i-halfWidth)
+		jhiA := min(n, i+halfWidth)
 		for j := jloA; j <= jhiA; j++ {
 			k := j - (i - halfWidth)
 			s := NegInf

@@ -37,7 +37,7 @@ func Restricted2(h, v View, p Params) Result {
 // locals (statAcc), flushed once at the end.
 func (w *Workspace) Restricted2(h, v View, p Params) Result {
 	m, n := h.Len(), v.Len()
-	delta := minI(m, n) + 1
+	delta := min(m, n) + 1
 	capacity := delta
 	if p.DeltaB > 0 && p.DeltaB < delta {
 		capacity = p.DeltaB
@@ -73,8 +73,8 @@ func (w *Workspace) Restricted2(h, v View, p Params) Result {
 	rowBestI := 0
 
 	for d := 1; d <= m+n; d++ {
-		cl := maxI(d1lo, maxI(0, d-n))
-		cu := minI(d1hi+1, minI(d, m))
+		cl := max(d1lo, max(0, d-n))
+		cu := min(d1hi+1, min(d, m))
 		if cl > cu {
 			break
 		}
@@ -153,7 +153,7 @@ func (w *Workspace) Restricted2(h, v View, p Params) Result {
 					w0, w1 := d2v[k], d2v[k+1]
 					s0 := wlast + int32(tab[hRow[k]][vRow[cnt-1-k]])
 					drv0 := d1r[k]
-					if g := maxI32(dlv, drv0) + gap; g > s0 {
+					if g := max(dlv, drv0) + gap; g > s0 {
 						s0 = g
 					}
 					if s0 < limit {
@@ -165,7 +165,7 @@ func (w *Workspace) Restricted2(h, v View, p Params) Result {
 					outRow[k] = s0
 					s1 := w0 + int32(tab[hRow[k+1]][vRow[cnt-2-k]])
 					drv1 := d1r[k+1]
-					if g := maxI32(drv0, drv1) + gap; g > s1 {
+					if g := max(drv0, drv1) + gap; g > s1 {
 						s1 = g
 					}
 					if s1 < limit {
@@ -182,7 +182,7 @@ func (w *Workspace) Restricted2(h, v View, p Params) Result {
 					wnew := d2v[k]
 					s := wlast + int32(tab[hRow[k]][vRow[cnt-1-k]])
 					drv := d1r[k]
-					if g := maxI32(dlv, drv) + gap; g > s {
+					if g := max(dlv, drv) + gap; g > s {
 						s = g
 					}
 					dlv = drv
@@ -203,7 +203,7 @@ func (w *Workspace) Restricted2(h, v View, p Params) Result {
 					w0, w1 := d2v[k], d2v[k+1]
 					s0 := wlast + int32(tab[hRow[cnt-1-k]][vRow[k]])
 					drv0 := d1r[k]
-					if g := maxI32(dlv, drv0) + gap; g > s0 {
+					if g := max(dlv, drv0) + gap; g > s0 {
 						s0 = g
 					}
 					if s0 < limit {
@@ -215,7 +215,7 @@ func (w *Workspace) Restricted2(h, v View, p Params) Result {
 					outRow[k] = s0
 					s1 := w0 + int32(tab[hRow[cnt-2-k]][vRow[k+1]])
 					drv1 := d1r[k+1]
-					if g := maxI32(drv0, drv1) + gap; g > s1 {
+					if g := max(drv0, drv1) + gap; g > s1 {
 						s1 = g
 					}
 					if s1 < limit {
@@ -232,7 +232,7 @@ func (w *Workspace) Restricted2(h, v View, p Params) Result {
 					wnew := d2v[k]
 					s := wlast + int32(tab[hRow[cnt-1-k]][vRow[k]])
 					drv := d1r[k]
-					if g := maxI32(dlv, drv) + gap; g > s {
+					if g := max(dlv, drv) + gap; g > s {
 						s = g
 					}
 					dlv = drv
@@ -256,7 +256,7 @@ func (w *Workspace) Restricted2(h, v View, p Params) Result {
 					hIdx += hStep
 					vIdx += vStep
 					drv := d1r[k]
-					if g := maxI32(dlv, drv) + gap; g > s {
+					if g := max(dlv, drv) + gap; g > s {
 						s = g
 					}
 					dlv = drv

@@ -20,7 +20,7 @@ func Standard3(h, v View, p Params) Result {
 // accumulate in locals (statAcc), flushed once at the end.
 func (w *Workspace) Standard3(h, v View, p Params) Result {
 	m, n := h.Len(), v.Len()
-	delta := minI(m, n) + 1
+	delta := min(m, n) + 1
 	w.b0 = growBuf32(w.b0, delta)
 	w.b1 = growBuf32(w.b1, delta)
 	w.b2 = growBuf32(w.b2, delta)
@@ -52,8 +52,8 @@ func (w *Workspace) Standard3(h, v View, p Params) Result {
 	bestI, bestD := 0, 0
 
 	for d := 1; d <= m+n; d++ {
-		cl := maxI(d1lo, maxI(0, d-n))
-		cu := minI(d1hi+1, minI(d, m))
+		cl := max(d1lo, max(0, d-n))
+		cu := min(d1hi+1, min(d, m))
 		if cl > cu {
 			break
 		}
@@ -103,7 +103,7 @@ func (w *Workspace) Standard3(h, v View, p Params) Result {
 				for k := range outRow {
 					s := d2v[k] + int32(tab[hRow[k]][vRow[cnt-1-k]])
 					drv := d1r[k]
-					if g := maxI32(dlv, drv) + gap; g > s {
+					if g := max(dlv, drv) + gap; g > s {
 						s = g
 					}
 					dlv = drv
@@ -121,7 +121,7 @@ func (w *Workspace) Standard3(h, v View, p Params) Result {
 				for k := range outRow {
 					s := d2v[k] + int32(tab[hRow[cnt-1-k]][vRow[k]])
 					drv := d1r[k]
-					if g := maxI32(dlv, drv) + gap; g > s {
+					if g := max(dlv, drv) + gap; g > s {
 						s = g
 					}
 					dlv = drv
@@ -143,7 +143,7 @@ func (w *Workspace) Standard3(h, v View, p Params) Result {
 					hIdx += hStep
 					vIdx += vStep
 					drv := d1r[k]
-					if g := maxI32(dlv, drv) + gap; g > s {
+					if g := max(dlv, drv) + gap; g > s {
 						s = g
 					}
 					dlv = drv

@@ -69,6 +69,7 @@ type Plan struct {
 	// aggregates
 	deviceCompute    float64
 	hostBytesIn      int64
+	uniqueSeqIn      int64
 	hostBytesOut     int64
 	theoretical      int64
 	cells            int64
@@ -105,6 +106,10 @@ type Report struct {
 	TransferSeconds float64
 	// HostBytesIn/HostBytesOut count link traffic.
 	HostBytesIn, HostBytesOut int64
+	// UniqueSeqBytesIn is the exact arena payload per §4.1: distinct slab
+	// bytes covered by the tiles' spans. The gap to HostBytesIn is what
+	// descriptor-level sequence duplication still costs on the link.
+	UniqueSeqBytesIn int64
 	// TheoreticalCells and Cells aggregate alignment traces.
 	TheoreticalCells, Cells int64
 	// SumBand and Antidiags support mean-live-band reporting.
@@ -181,6 +186,8 @@ func BuildBatches(ctx context.Context, d *workload.Dataset, cfg Config) (*BatchP
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// The one dataset-validation gate for every execution path (Run,
+	// NewPlan, engine Submit): layers below index Ω without re-checking.
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -293,6 +300,7 @@ func AssemblePlan(bp *BatchPlan, outs []*ipukernel.BatchResult) (*Plan, error) {
 		})
 		p.deviceCompute += res.Seconds
 		p.hostBytesIn += res.HostBytesIn
+		p.uniqueSeqIn += res.UniqueSeqBytesIn
 		p.hostBytesOut += res.HostBytesOut
 		p.theoretical += res.TheoreticalCells
 		p.cells += res.Cells
@@ -377,6 +385,7 @@ func (p *Plan) Schedule(ipus int) *Report {
 		IPUs:                 ipus,
 		DeviceComputeSeconds: p.deviceCompute,
 		HostBytesIn:          p.hostBytesIn,
+		UniqueSeqBytesIn:     p.uniqueSeqIn,
 		HostBytesOut:         p.hostBytesOut,
 		TheoreticalCells:     p.theoretical,
 		Cells:                p.cells,

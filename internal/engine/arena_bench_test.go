@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"github.com/sram-align/xdropipu/internal/core"
+	"github.com/sram-align/xdropipu/internal/driver"
+	"github.com/sram-align/xdropipu/internal/ipukernel"
+	"github.com/sram-align/xdropipu/internal/scoring"
+	"github.com/sram-align/xdropipu/internal/synth"
+	"github.com/sram-align/xdropipu/internal/workload"
+)
+
+// benchmarkSubmit measures the warm host-side cost of one submitted job
+// at a given submitter concurrency, in two dataset regimes:
+//
+//   - slices: every job materialises its own pool — a fresh [][]byte
+//     Dataset per submission, the way pre-arena clients fed the engine
+//     (each request owning a copy of Ω, re-counted at every layer);
+//   - arena: every job shares one immutable arena-backed dataset, so a
+//     submission carries spans and the pool bytes are resident once.
+//
+// allocs/op and B/op are per job; poolB/job reports the Ω bytes each job
+// materialises (the "host-side bytes per job" the arena eliminates).
+func benchmarkSubmit(b *testing.B, submitters int, arenaBacked bool) {
+	base := synth.UniformPairs(synth.UniformPairsSpec{
+		Count: 12, Length: 500, ErrorRate: 0.15, SeedLen: 17, Seed: 77})
+	poolBytes := base.TotalSeqBytes()
+
+	cfg := driver.Config{IPUs: 1, Partition: true, Kernel: ipukernel.Config{
+		Params: core.Params{Scorer: scoring.DNADefault, Gap: -1, X: 10, DeltaB: 128}}}
+	eng := New(WithDriverConfig(cfg), WithQueueDepth(max(submitters, DefaultQueueDepth)))
+	defer eng.Close()
+
+	mkJob := func() *workload.Dataset {
+		if arenaBacked {
+			return base // one resident arena, shared by every submission
+		}
+		return base.Clone() // every job materialises its own pool
+	}
+
+	// Warm the engine (device pools, executors) outside the measurement.
+	if j, err := eng.Submit(context.Background(), mkJob()); err != nil {
+		b.Fatal(err)
+	} else if _, err := j.Wait(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+
+	jobs := make(chan *workload.Dataset, submitters)
+	done := make(chan error, submitters)
+	for w := 0; w < submitters; w++ {
+		go func() {
+			for d := range jobs {
+				j, err := eng.Submit(context.Background(), d)
+				if err == nil {
+					_, err = j.Wait(context.Background())
+				}
+				done <- err
+			}
+		}()
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	go func() {
+		for i := 0; i < b.N; i++ {
+			jobs <- mkJob()
+		}
+		close(jobs)
+	}()
+	for i := 0; i < b.N; i++ {
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if arenaBacked {
+		b.ReportMetric(0, "poolB/job")
+	} else {
+		b.ReportMetric(float64(poolBytes), "poolB/job")
+	}
+}
+
+func BenchmarkSubmitSlices1(b *testing.B)  { benchmarkSubmit(b, 1, false) }
+func BenchmarkSubmitArena1(b *testing.B)   { benchmarkSubmit(b, 1, true) }
+func BenchmarkSubmitSlices4(b *testing.B)  { benchmarkSubmit(b, 4, false) }
+func BenchmarkSubmitArena4(b *testing.B)   { benchmarkSubmit(b, 4, true) }
+func BenchmarkSubmitSlices16(b *testing.B) { benchmarkSubmit(b, 16, false) }
+func BenchmarkSubmitArena16(b *testing.B)  { benchmarkSubmit(b, 16, true) }

@@ -164,7 +164,10 @@ func (e *Engine) Stats() Stats {
 // Submit enqueues a dataset for alignment and returns immediately with a
 // Job handle. It blocks only for admission when QueueDepth jobs are
 // already in flight; ctx cancels both the wait and the job itself
-// (planning and any not-yet-issued batches).
+// (planning and any not-yet-issued batches). Arena-backed datasets are
+// shared, not copied: any number of concurrent submissions of the same
+// dataset reference one immutable slab of Ω, and the batches built for a
+// job carry spans into it rather than private sequence slices.
 func (e *Engine) Submit(ctx context.Context, d *workload.Dataset) (*Job, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err

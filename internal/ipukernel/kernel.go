@@ -13,12 +13,14 @@ package ipukernel
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
 	"github.com/sram-align/xdropipu/internal/core"
 	"github.com/sram-align/xdropipu/internal/ipu"
 	"github.com/sram-align/xdropipu/internal/platform"
+	"github.com/sram-align/xdropipu/internal/workload"
 )
 
 // SeedJob is one comparison placed on a tile. Sequence references are
@@ -35,21 +37,79 @@ type SeedJob struct {
 }
 
 // TileWork is the per-tile input of Fig. 4: the sequence set ω_i plus the
-// seed-extension list.
+// seed-extension list. The set is held as spans into a shared arena slab —
+// the dataset's packed Ω — so batches from any number of concurrent jobs
+// reference one copy of the pool, and transfer sizes fall out of the spans
+// instead of summed slice headers.
 type TileWork struct {
-	// Seqs is the detached sequence set (references, not copies).
-	Seqs [][]byte
+	// Slab is the arena slab the tile's spans address (shared, immutable).
+	Slab []byte
+	// Seqs is the detached sequence set ω_i as spans into Slab.
+	Seqs []workload.SeqRef
 	// Jobs is the seed-extension list over Seqs.
 	Jobs []SeedJob
 }
 
-// SeqBytes returns the tile's sequence payload size.
+// Seq returns local sequence i as a zero-copy view into the slab.
+func (t *TileWork) Seq(i int) []byte {
+	r := t.Seqs[i]
+	return t.Slab[r.Off:r.End():r.End()]
+}
+
+// AddSeq appends s to the tile's private slab and returns its local index.
+// It is the standalone construction path (tests, single-tile tools); the
+// partitioner instead points tiles at the dataset's shared arena. Like
+// Arena.Append, it panics if the slab would outgrow 32-bit offsets.
+func (t *TileWork) AddSeq(s []byte) int {
+	if len(t.Slab)+len(s) > workload.MaxSlabBytes {
+		panic(fmt.Sprintf("ipukernel: tile slab would exceed %d bytes", workload.MaxSlabBytes))
+	}
+	t.Seqs = append(t.Seqs, workload.SeqRef{Off: int32(len(t.Slab)), Len: int32(len(s))})
+	t.Slab = append(t.Slab, s...)
+	return len(t.Seqs) - 1
+}
+
+// SeqBytes returns the tile's sequence payload size: the sum of span
+// lengths, charging one transfer per descriptor (a sequence placed twice —
+// the Copies mode — is transferred twice, as on the real device).
 func (t *TileWork) SeqBytes() int {
 	n := 0
-	for _, s := range t.Seqs {
-		n += len(s)
+	for _, r := range t.Seqs {
+		n += int(r.Len)
 	}
 	return n
+}
+
+// UniqueSeqBytes returns the distinct slab bytes the tile's spans cover —
+// the exact §4.1 payload an arena-aware exchange would ship, with spans
+// deduplicated and overlaps merged. SeqBytes ≥ UniqueSeqBytes; the gap is
+// what descriptor-level duplication still costs.
+func (t *TileWork) UniqueSeqBytes() int {
+	n, _ := t.uniqueSeqBytes(nil)
+	return n
+}
+
+// uniqueSeqBytes is UniqueSeqBytes with a reusable sort scratch, so the
+// per-batch accounting loop in Run stays allocation-free once warm.
+func (t *TileWork) uniqueSeqBytes(scratch []workload.SeqRef) (int, []workload.SeqRef) {
+	if len(t.Seqs) == 0 {
+		return 0, scratch
+	}
+	scratch = append(scratch[:0], t.Seqs...)
+	slices.SortFunc(scratch, func(a, b workload.SeqRef) int { return int(a.Off) - int(b.Off) })
+	n := 0
+	cur := scratch[0]
+	for _, s := range scratch[1:] {
+		if s.Off <= cur.End() {
+			if s.End() > cur.End() {
+				cur.Len = s.End() - cur.Off
+			}
+			continue
+		}
+		n += int(cur.Len)
+		cur = s
+	}
+	return n + int(cur.Len), scratch
 }
 
 // Batch is one BSP superstep's worth of work across tiles.
@@ -147,16 +207,11 @@ func (c Config) TileMemoryBytes(t *TileWork, model platform.IPUModel) int {
 	cc := c.withDefaults(model)
 	maxMin := 0
 	for _, j := range t.Jobs {
-		h, v := t.Seqs[j.HLocal], t.Seqs[j.VLocal]
+		hn, vn := int(t.Seqs[j.HLocal].Len), int(t.Seqs[j.VLocal].Len)
 		// The larger extension side bounds δ for this job.
-		l := minInt(j.SeedH, j.SeedV)
-		r := minInt(len(h)-j.SeedH-j.SeedLen, len(v)-j.SeedV-j.SeedLen)
-		if l > maxMin {
-			maxMin = l
-		}
-		if r > maxMin {
-			maxMin = r
-		}
+		l := min(j.SeedH, j.SeedV)
+		r := min(hn-j.SeedH-j.SeedLen, vn-j.SeedV-j.SeedLen)
+		maxMin = max(maxMin, l, r)
 	}
 	return t.SeqBytes() +
 		len(t.Seqs)*seqDescrBytes +
@@ -196,6 +251,10 @@ type BatchResult struct {
 	// HostBytesIn is the host→device payload (sequences, descriptors,
 	// job tuples, header) — what the driver pushes over the shared link.
 	HostBytesIn int64
+	// UniqueSeqBytesIn is the exact arena payload: the distinct slab
+	// bytes the batch's spans cover, per tile. HostBytesIn − this gap is
+	// the duplication an offset-addressed exchange would eliminate.
+	UniqueSeqBytesIn int64
 	// HostBytesOut is the device→host result payload.
 	HostBytesOut int64
 	// MaxSRAM is the largest per-tile SRAM footprint in the batch.
@@ -298,6 +357,7 @@ func Run(dev *ipu.Device, b *Batch, cfg Config) (*BatchResult, error) {
 	wg.Wait()
 
 	maxSRAM := 0
+	var spanScratch []workload.SeqRef
 	for ti := range stats {
 		st := &stats[ti]
 		if st.err != nil {
@@ -316,6 +376,9 @@ func Run(dev *ipu.Device, b *Batch, cfg Config) (*BatchResult, error) {
 		tile := &b.Tiles[ti]
 		res.HostBytesIn += int64(tile.SeqBytes() + len(tile.Seqs)*seqDescrBytes +
 			len(tile.Jobs)*JobTupleBytes + batchHdrBytes)
+		var unique int
+		unique, spanScratch = tile.uniqueSeqBytes(spanScratch)
+		res.UniqueSeqBytesIn += int64(unique)
 		res.HostBytesOut += int64(len(tile.Jobs) * ResultBytes)
 	}
 	res.MaxSRAM = maxSRAM
@@ -330,11 +393,4 @@ func Run(dev *ipu.Device, b *Batch, cfg Config) (*BatchResult, error) {
 	}
 	res.Seconds = secs
 	return res, nil
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

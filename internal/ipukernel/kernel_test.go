@@ -9,6 +9,7 @@ import (
 	"github.com/sram-align/xdropipu/internal/platform"
 	"github.com/sram-align/xdropipu/internal/scoring"
 	"github.com/sram-align/xdropipu/internal/synth"
+	"github.com/sram-align/xdropipu/internal/workload"
 )
 
 func dnaCfg(x int) Config {
@@ -17,16 +18,21 @@ func dnaCfg(x int) Config {
 	}
 }
 
-// buildBatch places one uniform synthetic comparison per tile.
+// buildBatch places one uniform synthetic comparison per tile. Tiles
+// reference the dataset's shared arena slab, as the partitioner builds
+// them.
 func buildBatch(t *testing.T, count, length int, errRate float64, seed int64) (*Batch, *synth.Dataset) {
 	t.Helper()
 	d := synth.UniformPairs(synth.UniformPairsSpec{
 		Count: count, Length: length, ErrorRate: errRate, SeedLen: 17, Seed: seed,
 	})
+	arena, plan := d.Spine()
 	b := &Batch{}
-	for i, c := range d.Comparisons {
+	for i := 0; i < plan.Len(); i++ {
+		c := plan.At(i)
 		b.Tiles = append(b.Tiles, TileWork{
-			Seqs: [][]byte{d.Sequences[c.H], d.Sequences[c.V]},
+			Slab: arena.Slab(),
+			Seqs: []workload.SeqRef{arena.Ref(c.H), arena.Ref(c.V)},
 			Jobs: []SeedJob{{HLocal: 0, VLocal: 1, SeedH: c.SeedH, SeedV: c.SeedV, SeedLen: c.SeedLen, GlobalID: i}},
 		})
 	}
@@ -121,7 +127,11 @@ func TestMultiJobTileSharedSequences(t *testing.T) {
 	for _, j := range jobs {
 		synth.PlantSeed(seqs[j.HLocal], seqs[j.VLocal], j.SeedH, j.SeedV, j.SeedLen)
 	}
-	b := &Batch{Tiles: []TileWork{{Seqs: seqs, Jobs: jobs}}}
+	tile := TileWork{Jobs: jobs}
+	for _, s := range seqs {
+		tile.AddSeq(s)
+	}
+	b := &Batch{Tiles: []TileWork{tile}}
 	dev := ipu.New(ipu.Config{Model: platform.GC200})
 	cfg := dnaCfg(10)
 	cfg.LRSplit = true
@@ -148,16 +158,80 @@ func TestMultiJobTileSharedSequences(t *testing.T) {
 	}
 }
 
+// TestUniqueSeqBytes covers the span merge behind the exact §4.1 payload
+// stat: duplicates, overlaps and adjacent spans collapse, disjoint spans
+// sum, and SeqBytes (per-descriptor accounting) stays the upper bound.
+func TestUniqueSeqBytes(t *testing.T) {
+	empty := TileWork{}
+	if got := empty.UniqueSeqBytes(); got != 0 {
+		t.Errorf("empty tile UniqueSeqBytes = %d", got)
+	}
+	tile := TileWork{
+		Slab: make([]byte, 100),
+		Seqs: []workload.SeqRef{
+			{Off: 40, Len: 5},  // disjoint, out of order
+			{Off: 10, Len: 10}, // base span
+			{Off: 10, Len: 10}, // exact duplicate (interned sequence)
+			{Off: 15, Len: 10}, // overlaps base
+			{Off: 25, Len: 5},  // adjacent to the merged run
+		},
+	}
+	// Coverage: [10,30) ∪ [40,45) = 25 bytes; descriptors charge 40.
+	if got := tile.UniqueSeqBytes(); got != 25 {
+		t.Errorf("UniqueSeqBytes = %d, want 25", got)
+	}
+	if got := tile.SeqBytes(); got != 40 {
+		t.Errorf("SeqBytes = %d, want 40", got)
+	}
+	if tile.UniqueSeqBytes() > tile.SeqBytes() {
+		t.Error("unique payload exceeds per-descriptor payload")
+	}
+}
+
+// TestUniqueSeqBytesInRun: a tile listing an arena sequence twice (the
+// Copies mode) charges it per descriptor in HostBytesIn but once in
+// UniqueSeqBytesIn.
+func TestUniqueSeqBytesInRun(t *testing.T) {
+	d := synth.UniformPairs(synth.UniformPairsSpec{
+		Count: 1, Length: 400, ErrorRate: 0.15, SeedLen: 17, Seed: 12})
+	arena, _ := d.Spine()
+	c := d.Comparisons[0]
+	tile := TileWork{
+		Slab: arena.Slab(),
+		Seqs: []workload.SeqRef{arena.Ref(c.H), arena.Ref(c.V), arena.Ref(c.H)},
+		Jobs: []SeedJob{
+			{HLocal: 0, VLocal: 1, SeedH: c.SeedH, SeedV: c.SeedV, SeedLen: c.SeedLen, GlobalID: 0},
+			{HLocal: 2, VLocal: 1, SeedH: c.SeedH, SeedV: c.SeedV, SeedLen: c.SeedLen, GlobalID: 1},
+		},
+	}
+	dev := ipu.New(ipu.Config{Model: platform.GC200})
+	res, err := Run(dev, &Batch{Tiles: []TileWork{tile}}, dnaCfg(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hn, vn := len(d.Sequences[c.H]), len(d.Sequences[c.V])
+	if want := int64(2*hn + vn); res.HostBytesIn-int64(3*seqDescrBytes+2*JobTupleBytes+batchHdrBytes) != want {
+		t.Errorf("per-descriptor sequence payload = %d, want %d",
+			res.HostBytesIn-int64(3*seqDescrBytes+2*JobTupleBytes+batchHdrBytes), want)
+	}
+	if want := int64(hn + vn); res.UniqueSeqBytesIn != want {
+		t.Errorf("UniqueSeqBytesIn = %d, want %d (duplicate span charged once)", res.UniqueSeqBytesIn, want)
+	}
+	if res.Out[0].Score != res.Out[1].Score {
+		t.Error("duplicate-span job scored differently")
+	}
+}
+
 func TestSRAMRejection(t *testing.T) {
 	// A tile with sequences larger than the SRAM budget must be refused.
 	big := make([]byte, 300*1024)
 	for i := range big {
 		big[i] = "ACGT"[i%4]
 	}
-	b := &Batch{Tiles: []TileWork{{
-		Seqs: [][]byte{big, big},
-		Jobs: []SeedJob{{HLocal: 0, VLocal: 1, SeedH: 0, SeedV: 0, SeedLen: 17}},
-	}}}
+	tile := TileWork{Jobs: []SeedJob{{HLocal: 0, VLocal: 1, SeedH: 0, SeedV: 0, SeedLen: 17}}}
+	tile.AddSeq(big)
+	tile.AddSeq(big)
+	b := &Batch{Tiles: []TileWork{tile}}
 	dev := ipu.New(ipu.Config{Model: platform.GC200})
 	if _, err := Run(dev, b, dnaCfg(10)); err == nil {
 		t.Fatal("oversized tile accepted")
@@ -166,14 +240,15 @@ func TestSRAMRejection(t *testing.T) {
 
 func TestStandard3NeedsMoreSRAM(t *testing.T) {
 	cfg := dnaCfg(10)
+	all := make([]byte, 20000)
+	for i := range all {
+		all[i] = 'A'
+	}
 	tile := &TileWork{
-		Seqs: [][]byte{make([]byte, 20000), make([]byte, 20000)},
 		Jobs: []SeedJob{{HLocal: 0, VLocal: 1, SeedH: 10000, SeedV: 10000, SeedLen: 17}},
 	}
-	for i := range tile.Seqs[0] {
-		tile.Seqs[0][i] = 'A'
-		tile.Seqs[1][i] = 'A'
-	}
+	tile.AddSeq(all)
+	tile.AddSeq(all)
 	restricted := cfg.TileMemoryBytes(tile, platform.GC200)
 	cfg.Params.Algo = core.AlgoStandard3
 	standard := cfg.TileMemoryBytes(tile, platform.GC200)
@@ -217,9 +292,10 @@ func TestThreadScalingSpeedsUp(t *testing.T) {
 		dev := ipu.New(ipu.Config{Model: platform.GC200})
 		// One tile, 12 equal jobs.
 		d := synth.UniformPairs(synth.UniformPairsSpec{Count: 12, Length: 400, ErrorRate: 0.15, SeedLen: 17, Seed: 4})
-		tile := TileWork{}
+		arena, _ := d.Spine()
+		tile := TileWork{Slab: arena.Slab()}
 		for i, c := range d.Comparisons {
-			tile.Seqs = append(tile.Seqs, d.Sequences[c.H], d.Sequences[c.V])
+			tile.Seqs = append(tile.Seqs, arena.Ref(c.H), arena.Ref(c.V))
 			tile.Jobs = append(tile.Jobs, SeedJob{
 				HLocal: 2 * i, VLocal: 2*i + 1,
 				SeedH: c.SeedH, SeedV: c.SeedV, SeedLen: c.SeedLen, GlobalID: i,
@@ -278,7 +354,8 @@ func TestWorkStealingBalancesVariance(t *testing.T) {
 			sh = len(v) - 17
 		}
 		synth.PlantSeed(h, v, sh, sh, 17)
-		tile.Seqs = append(tile.Seqs, h, v)
+		tile.AddSeq(h)
+		tile.AddSeq(v)
 		tile.Jobs = append(tile.Jobs, SeedJob{HLocal: 2 * i, VLocal: 2*i + 1, SeedH: sh, SeedV: sh, SeedLen: 17, GlobalID: i})
 	}
 	run := func(ws bool) float64 {
@@ -307,7 +384,7 @@ func TestEventualWorkStealingReducesRaces(t *testing.T) {
 	// Uniform jobs → identical costs → maximal tie pressure.
 	b, _ := buildBatch(t, 1, 300, 0.15, 7)
 	// Pack 24 identical jobs on one tile.
-	tile := TileWork{Seqs: b.Tiles[0].Seqs}
+	tile := TileWork{Slab: b.Tiles[0].Slab, Seqs: b.Tiles[0].Seqs}
 	for k := 0; k < 24; k++ {
 		j := b.Tiles[0].Jobs[0]
 		j.GlobalID = k

@@ -15,9 +15,10 @@ func warmTile(t *testing.T, jobs int) *TileWork {
 	d := synth.UniformPairs(synth.UniformPairsSpec{
 		Count: jobs, Length: 700, ErrorRate: 0.15, SeedLen: 17, Seed: 21,
 	})
-	tile := &TileWork{}
+	arena, _ := d.Spine()
+	tile := &TileWork{Slab: arena.Slab()}
 	for i, c := range d.Comparisons {
-		tile.Seqs = append(tile.Seqs, d.Sequences[c.H], d.Sequences[c.V])
+		tile.Seqs = append(tile.Seqs, arena.Ref(c.H), arena.Ref(c.V))
 		tile.Jobs = append(tile.Jobs, SeedJob{
 			HLocal: 2 * i, VLocal: 2*i + 1,
 			SeedH: c.SeedH, SeedV: c.SeedV, SeedLen: c.SeedLen, GlobalID: i,

@@ -172,7 +172,7 @@ func runTile(t *TileWork, cfg Config, ex *executor, out []AlignOut) tileResult {
 	// executions must not inflate the GCUPS numerator (§5.1).
 	for j := range t.Jobs {
 		job := &t.Jobs[j]
-		h, v := t.Seqs[job.HLocal], t.Seqs[job.VLocal]
+		h, v := t.Seq(job.HLocal), t.Seq(job.VLocal)
 		seed := core.Seed{H: job.SeedH, V: job.SeedV, Len: job.SeedLen}
 		o := &out[j]
 		o.Score = o.LeftScore + core.SeedScore(h, v, seed, cfg.Params) + o.RightScore
@@ -198,7 +198,7 @@ func stealJitter(th, n int) int64 {
 // and returns the charged instruction cost.
 func runUnit(t *TileWork, cfg Config, ws *core.Workspace, u unit, out []AlignOut, tr *tileResult) int64 {
 	job := &t.Jobs[u.job]
-	h, v := t.Seqs[job.HLocal], t.Seqs[job.VLocal]
+	h, v := t.Seq(job.HLocal), t.Seq(job.VLocal)
 	o := &out[u.job]
 
 	var cost int64

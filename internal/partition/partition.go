@@ -22,7 +22,8 @@ type Item struct {
 	Seqs []int
 	// Cmps lists comparison indices into the dataset.
 	Cmps []int
-	// Bytes is the sequence payload (what the item costs to transfer).
+	// Bytes is the sequence payload (what the item costs to transfer),
+	// summed from the arena's exact span lengths.
 	Bytes int
 	// Cost is the §4.2 runtime estimate: quadratic in the extension
 	// lengths, summed over the item's comparisons.
@@ -60,24 +61,27 @@ type Options struct {
 // until the next vertex would exceed the sequence budget, then a new
 // partition starts.
 func BuildItems(d *workload.Dataset, opt Options) []Item {
+	arena, plan := d.Spine()
+	refs := arena.Refs()
 	seqBudget := opt.SeqBudget
 	maxCmps := opt.MaxCmps
 	if maxCmps <= 0 {
-		maxCmps = len(d.Comparisons) + 1
+		maxCmps = plan.Len() + 1
 	}
 	if !opt.Reuse {
-		items := make([]Item, 0, len(d.Comparisons))
-		for ci, c := range d.Comparisons {
+		items := make([]Item, 0, plan.Len())
+		for ci := 0; ci < plan.Len(); ci++ {
+			c := plan.At(ci)
 			it := Item{
 				Seqs:   []int{c.H},
 				Cmps:   []int{ci},
 				Cost:   CostEstimate(d, c),
 				Copies: true,
 			}
-			it.Bytes = len(d.Sequences[c.H])
+			it.Bytes = int(refs[c.H].Len)
 			if c.V != c.H {
 				it.Seqs = append(it.Seqs, c.V)
-				it.Bytes += len(d.Sequences[c.V])
+				it.Bytes += int(refs[c.V].Len)
 			}
 			items = append(items, it)
 		}
@@ -90,18 +94,20 @@ func BuildItems(d *workload.Dataset, opt Options) []Item {
 	// would exceed the memory budget; then start a new partition. The
 	// frontier walk keeps partitions topologically local regardless of
 	// the sequence numbering, which is what makes reuse high on overlap
-	// graphs.
-	adj := make([][]int, len(d.Sequences)) // vertex → incident edges
-	for ci, c := range d.Comparisons {
-		adj[c.H] = append(adj[c.H], ci)
-		if c.V != c.H {
-			adj[c.V] = append(adj[c.V], ci)
+	// graphs. The walk scans only the plan's H/V columns — the seed
+	// columns stay cold.
+	adj := make([][]int, len(refs)) // vertex → incident edges
+	for ci := range plan.H {
+		h, v := int(plan.H[ci]), int(plan.V[ci])
+		adj[h] = append(adj[h], ci)
+		if v != h {
+			adj[v] = append(adj[v], ci)
 		}
 	}
 
 	var items []Item
-	assigned := make([]bool, len(d.Comparisons))
-	inPart := make([]int, len(d.Sequences)) // vertex → open-partition stamp
+	assigned := make([]bool, plan.Len())
+	inPart := make([]int, len(refs)) // vertex → open-partition stamp
 	for i := range inPart {
 		inPart[i] = -1
 	}
@@ -119,14 +125,14 @@ func BuildItems(d *workload.Dataset, opt Options) []Item {
 		if inPart[s] != stamp {
 			inPart[s] = stamp
 			cur.Seqs = append(cur.Seqs, s)
-			cur.Bytes += len(d.Sequences[s])
+			cur.Bytes += int(refs[s].Len)
 		}
 	}
 	need := func(s int) int {
 		if inPart[s] == stamp {
 			return 0
 		}
-		return len(d.Sequences[s])
+		return int(refs[s].Len)
 	}
 
 	var queue []int
@@ -141,7 +147,7 @@ func BuildItems(d *workload.Dataset, opt Options) []Item {
 				if assigned[ci] {
 					continue
 				}
-				c := d.Comparisons[ci]
+				c := plan.At(ci)
 				grow := need(c.H) + need(c.V)
 				if cur.Bytes+grow > seqBudget || len(cur.Cmps) >= maxCmps {
 					if len(cur.Cmps) == 0 {
@@ -186,11 +192,11 @@ func BuildItems(d *workload.Dataset, opt Options) []Item {
 	// both consumed by earlier walks never reappear on the frontier;
 	// sweep them into fresh partitions so every comparison is scheduled
 	// exactly once.
-	for ci := range d.Comparisons {
+	for ci := range assigned {
 		if assigned[ci] {
 			continue
 		}
-		c := d.Comparisons[ci]
+		c := plan.At(ci)
 		grow := need(c.H) + need(c.V)
 		if (cur.Bytes+grow > seqBudget || len(cur.Cmps) >= maxCmps) && len(cur.Cmps) > 0 {
 			flush()
@@ -210,12 +216,13 @@ func BuildItems(d *workload.Dataset, opt Options) []Item {
 // carry. 1.0 means no reuse; 2.0 means each transferred sequence serves
 // two comparisons on average.
 func ReuseFactor(d *workload.Dataset, items []Item) float64 {
+	arena, plan := d.Spine()
+	refs := arena.Refs()
 	var naive, actual int64
 	for _, it := range items {
 		actual += int64(it.Bytes)
 		for _, ci := range it.Cmps {
-			c := d.Comparisons[ci]
-			naive += int64(len(d.Sequences[c.H]) + len(d.Sequences[c.V]))
+			naive += int64(refs[plan.H[ci]].Len) + int64(refs[plan.V[ci]].Len)
 		}
 	}
 	if actual == 0 {
@@ -227,9 +234,11 @@ func ReuseFactor(d *workload.Dataset, items []Item) float64 {
 // MaxMinExtension returns the largest min-side extension length over the
 // dataset's comparisons — the δ that sizes unbounded DP buffers.
 func MaxMinExtension(d *workload.Dataset) int {
+	arena, plan := d.Spine()
+	refs := arena.Refs()
 	mm := 0
-	for _, c := range d.Comparisons {
-		if v := cmpMaxMin(d, c); v > mm {
+	for ci := 0; ci < plan.Len(); ci++ {
+		if v := cmpMaxMin(refs, plan.At(ci)); v > mm {
 			mm = v
 		}
 	}
@@ -259,7 +268,8 @@ func DeriveSeqBudget(d *workload.Dataset, cfg ipukernel.Config, model platform.I
 }
 
 // tileBuilder incrementally assembles one tile's work while tracking the
-// SRAM formula of the kernel configuration.
+// SRAM formula of the kernel configuration. Tiles reference the dataset's
+// shared arena: adding a sequence appends its span, never its bytes.
 type tileBuilder struct {
 	work     ipukernel.TileWork
 	localIdx map[int]int
@@ -268,23 +278,28 @@ type tileBuilder struct {
 	maxMin   int
 }
 
-func newTileBuilder() *tileBuilder {
-	return &tileBuilder{localIdx: make(map[int]int)}
+func newTileBuilder(slab []byte) *tileBuilder {
+	return &tileBuilder{
+		work:     ipukernel.TileWork{Slab: slab},
+		localIdx: make(map[int]int),
+	}
 }
 
-func (tb *tileBuilder) memoryWith(d *workload.Dataset, it *Item, cfg ipukernel.Config, threads int) int {
+func (tb *tileBuilder) memoryWith(refs []workload.SeqRef, plan *workload.Plan, it *Item, cfg ipukernel.Config, threads int) int {
 	seqBytes := tb.seqBytes
 	nSeqs := len(tb.work.Seqs)
 	for _, s := range it.Seqs {
 		if _, ok := tb.localIdx[s]; !ok || it.Copies {
-			seqBytes += len(d.Sequences[s])
+			seqBytes += int(refs[s].Len)
 			nSeqs++
 		}
 	}
 	nJobs := len(tb.work.Jobs) + len(it.Cmps)
 	maxMin := tb.maxMin
+	// Same comparison source as add(): admission and placement must
+	// agree on seed geometry.
 	for _, ci := range it.Cmps {
-		if mm := cmpMaxMin(d, d.Comparisons[ci]); mm > maxMin {
+		if mm := cmpMaxMin(refs, plan.At(ci)); mm > maxMin {
 			maxMin = mm
 		}
 	}
@@ -293,39 +308,33 @@ func (tb *tileBuilder) memoryWith(d *workload.Dataset, it *Item, cfg ipukernel.C
 		nJobs*ipukernel.ResultBytes + 64
 }
 
-func cmpMaxMin(d *workload.Dataset, c workload.Comparison) int {
-	lh, lv, rh, rv := d.ExtensionLens(c)
-	mm := lh
-	if lv < mm {
-		mm = lv
-	}
-	r := rh
-	if rv < r {
-		r = rv
-	}
-	if r > mm {
-		mm = r
-	}
-	return mm
+// cmpMaxMin computes the larger of the two min-side extension lengths of
+// c from the arena spans — the same source the byte budgets use, so SRAM
+// admission and placement can never disagree with the slab the kernel
+// actually executes.
+func cmpMaxMin(refs []workload.SeqRef, c workload.Comparison) int {
+	rh := int(refs[c.H].Len) - c.SeedH - c.SeedLen
+	rv := int(refs[c.V].Len) - c.SeedV - c.SeedLen
+	return max(min(c.SeedH, c.SeedV), min(rh, rv))
 }
 
-func (tb *tileBuilder) add(d *workload.Dataset, it *Item) {
+func (tb *tileBuilder) add(refs []workload.SeqRef, plan *workload.Plan, it *Item) {
 	for _, s := range it.Seqs {
 		if _, ok := tb.localIdx[s]; !ok || it.Copies {
 			tb.localIdx[s] = len(tb.work.Seqs)
-			tb.work.Seqs = append(tb.work.Seqs, d.Sequences[s])
-			tb.seqBytes += len(d.Sequences[s])
+			tb.work.Seqs = append(tb.work.Seqs, refs[s])
+			tb.seqBytes += int(refs[s].Len)
 		}
 	}
 	for _, ci := range it.Cmps {
-		c := d.Comparisons[ci]
+		c := plan.At(ci)
 		tb.work.Jobs = append(tb.work.Jobs, ipukernel.SeedJob{
 			HLocal: tb.localIdx[c.H],
 			VLocal: tb.localIdx[c.V],
 			SeedH:  c.SeedH, SeedV: c.SeedV, SeedLen: c.SeedLen,
 			GlobalID: ci,
 		})
-		if mm := cmpMaxMin(d, c); mm > tb.maxMin {
+		if mm := cmpMaxMin(refs, c); mm > tb.maxMin {
 			tb.maxMin = mm
 		}
 	}
@@ -355,6 +364,9 @@ func MakeBatchesLimit(d *workload.Dataset, items []Item, tiles int, cfg ipukerne
 		threads = model.ThreadsPerTile
 	}
 	budget := model.DataSRAM()
+	arena, plan := d.Spine()
+	refs := arena.Refs()
+	slab := arena.Slab()
 
 	order := make([]int, len(items))
 	for i := range order {
@@ -393,13 +405,13 @@ func MakeBatchesLimit(d *workload.Dataset, items []Item, tiles int, cfg ipukerne
 			if builders == nil {
 				builders = make([]*tileBuilder, tiles)
 				for i := range builders {
-					builders[i] = newTileBuilder()
+					builders[i] = newTileBuilder(slab)
 				}
 			}
 			// Least-loaded tile that still fits the item.
 			best := -1
 			for ti, tb := range builders {
-				if tb.memoryWith(d, it, cfg, threads) > budget {
+				if tb.memoryWith(refs, plan, it, cfg, threads) > budget {
 					continue
 				}
 				if best < 0 || tb.load < builders[best].load {
@@ -407,7 +419,7 @@ func MakeBatchesLimit(d *workload.Dataset, items []Item, tiles int, cfg ipukerne
 				}
 			}
 			if best >= 0 {
-				builders[best].add(d, it)
+				builders[best].add(refs, plan, it)
 				batchJobs += len(it.Cmps)
 				placed = true
 				break

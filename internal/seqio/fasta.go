@@ -8,31 +8,35 @@ import (
 	"os"
 )
 
-// ReadFasta parses FASTA records from r, validating and canonicalising each
-// sequence against alpha. Records with empty sequences are rejected.
-func ReadFasta(r io.Reader, alpha *Alphabet) ([]*Sequence, error) {
+// ReadFastaFunc parses FASTA records from r, validating and canonicalising
+// each sequence against alpha, and hands every record to rec in file order.
+// The seq slice is a reused scratch buffer valid only for the duration of
+// the call — consumers that keep the symbols must copy them (the workload
+// arena packs them straight into its slab, which is why this streaming
+// form exists: one FASTA pass fills Ω with no per-record allocation).
+// Records with empty sequences are rejected.
+func ReadFastaFunc(r io.Reader, alpha *Alphabet, rec func(id, desc string, seq []byte) error) error {
 	br := bufio.NewReaderSize(r, 1<<16)
-	var seqs []*Sequence
-	var cur *Sequence
 	var buf bytes.Buffer
+	var id, desc string
+	open := false
 	lineNo := 0
 
 	flush := func() error {
-		if cur == nil {
+		if !open {
 			return nil
 		}
 		if buf.Len() == 0 {
-			return fmt.Errorf("seqio: record %q has no sequence data", cur.ID)
+			return fmt.Errorf("seqio: record %q has no sequence data", id)
 		}
-		data := make([]byte, buf.Len())
-		copy(data, buf.Bytes())
+		data := buf.Bytes()
 		if err := alpha.Clean(data); err != nil {
-			return fmt.Errorf("record %q: %w", cur.ID, err)
+			return fmt.Errorf("record %q: %w", id, err)
 		}
-		cur.Data = data
-		cur.Kind = alpha.Kind()
-		seqs = append(seqs, cur)
-		cur = nil
+		if err := rec(id, desc, data); err != nil {
+			return err
+		}
+		open = false
 		buf.Reset()
 		return nil
 	}
@@ -45,18 +49,18 @@ func ReadFasta(r io.Reader, alpha *Alphabet) ([]*Sequence, error) {
 			switch line[0] {
 			case '>':
 				if err := flush(); err != nil {
-					return nil, err
+					return err
 				}
-				id, desc := splitHeader(line[1:])
+				id, desc = splitHeader(line[1:])
 				if id == "" {
-					return nil, fmt.Errorf("seqio: empty FASTA header at line %d", lineNo)
+					return fmt.Errorf("seqio: empty FASTA header at line %d", lineNo)
 				}
-				cur = &Sequence{ID: id, Desc: desc}
+				open = true
 			case ';':
 				// Classic FASTA comment line; ignore.
 			default:
-				if cur == nil {
-					return nil, fmt.Errorf("seqio: sequence data before first header at line %d", lineNo)
+				if !open {
+					return fmt.Errorf("seqio: sequence data before first header at line %d", lineNo)
 				}
 				buf.Write(line)
 			}
@@ -65,10 +69,24 @@ func ReadFasta(r io.Reader, alpha *Alphabet) ([]*Sequence, error) {
 			break
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	if err := flush(); err != nil {
+	return flush()
+}
+
+// ReadFasta parses FASTA records from r into Sequence values, copying each
+// record's symbols. Use ReadFastaFunc to stream records without the
+// per-record copies.
+func ReadFasta(r io.Reader, alpha *Alphabet) ([]*Sequence, error) {
+	var seqs []*Sequence
+	err := ReadFastaFunc(r, alpha, func(id, desc string, seq []byte) error {
+		data := make([]byte, len(seq))
+		copy(data, seq)
+		seqs = append(seqs, &Sequence{ID: id, Desc: desc, Data: data, Kind: alpha.Kind()})
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return seqs, nil

@@ -134,6 +134,23 @@ type Comparison = workload.Comparison
 // Dataset aliases the workload interchange type; generators produce it.
 type Dataset = workload.Dataset
 
+// packDataset packs fully generated sequences into an arena-backed
+// dataset: one slab for Ω, a columnar comparison plan, and the
+// compatibility view over both. Generators mutate sequences (seed
+// planting, error application) before packing, so the arena's content
+// hashes stay valid.
+func packDataset(name string, protein bool, seqs [][]byte, cmps []Comparison) *Dataset {
+	total := 0
+	for _, s := range seqs {
+		total += len(s)
+	}
+	a := workload.NewArena(total, len(seqs))
+	for _, s := range seqs {
+		a.Append(s)
+	}
+	return a.NewDataset(name, workload.PlanOf(cmps), protein)
+}
+
 // PlantSeed copies the k-mer at h[seedH:] over v[seedV:] so the seed is an
 // exact match, as the k-mer seeding stages guarantee.
 func PlantSeed(h, v []byte, seedH, seedV, k int) {
@@ -164,7 +181,8 @@ type UniformPairsSpec struct {
 // (§4.1.2, Table 1).
 func UniformPairs(spec UniformPairsSpec) *Dataset {
 	rng := rand.New(rand.NewSource(spec.Seed))
-	d := &Dataset{Name: "simulated"}
+	seqs := make([][]byte, 0, 2*spec.Count)
+	cmps := make([]Comparison, 0, spec.Count)
 	prof := UniformDNA(spec.ErrorRate)
 	for c := 0; c < spec.Count; c++ {
 		h := RandDNA(rng, spec.Length)
@@ -181,13 +199,13 @@ func UniformPairs(spec UniformPairsSpec) *Dataset {
 			seedV = len(v) - spec.SeedLen
 		}
 		PlantSeed(h, v, seedH, seedV, spec.SeedLen)
-		d.Sequences = append(d.Sequences, h, v)
-		d.Comparisons = append(d.Comparisons, Comparison{
-			H: len(d.Sequences) - 2, V: len(d.Sequences) - 1,
+		seqs = append(seqs, h, v)
+		cmps = append(cmps, Comparison{
+			H: len(seqs) - 2, V: len(seqs) - 1,
 			SeedH: seedH, SeedV: seedV, SeedLen: spec.SeedLen,
 		})
 	}
-	return d
+	return packDataset("simulated", false, seqs, cmps)
 }
 
 // ReadsSpec configures a long-read overlap dataset shaped like the ELBA
@@ -236,7 +254,7 @@ func Reads(spec ReadsSpec) *Dataset {
 		numReads = 2
 	}
 
-	d := &Dataset{Name: spec.Name}
+	var seqs [][]byte
 	metas := make([]readMeta, 0, numReads)
 	for r := 0; r < numReads; r++ {
 		// Log-normal-ish length: exp(N(log mean, 0.45)) clamped.
@@ -249,23 +267,19 @@ func Reads(spec ReadsSpec) *Dataset {
 		if maxLen <= 0 {
 			maxLen = 4 * spec.MeanReadLen
 		}
-		if gLen > maxLen {
-			gLen = maxLen
-		}
-		if gLen > spec.GenomeLen {
-			gLen = spec.GenomeLen
-		}
+		gLen = min(gLen, maxLen, spec.GenomeLen)
 		start := rng.Intn(spec.GenomeLen - gLen + 1)
 		read := spec.Errors.Apply(rng, genome[start:start+gLen])
 		if len(read) < spec.SeedLen+2 {
 			continue
 		}
 		metas = append(metas, readMeta{start: start, gLen: gLen})
-		d.Sequences = append(d.Sequences, read)
+		seqs = append(seqs, read)
 	}
 
 	// Emit comparisons for genomically overlapping read pairs. A sweep
 	// over start-sorted reads keeps this O(overlaps).
+	var cmps []Comparison
 	order := make([]int, len(metas))
 	for i := range order {
 		order[i] = i
@@ -278,8 +292,8 @@ func Reads(spec ReadsSpec) *Dataset {
 			if mj.start >= mi.start+mi.gLen-spec.MinOverlap {
 				break
 			}
-			ovBeg := maxInt(mi.start, mj.start)
-			ovEnd := minInt(mi.start+mi.gLen, mj.start+mj.gLen)
+			ovBeg := max(mi.start, mj.start)
+			ovEnd := min(mi.start+mi.gLen, mj.start+mj.gLen)
 			if ovEnd-ovBeg < spec.MinOverlap || ovEnd-ovBeg < spec.SeedLen {
 				continue
 			}
@@ -288,19 +302,19 @@ func Reads(spec ReadsSpec) *Dataset {
 			// coordinates (indels shift it slightly; clamping keeps
 			// it legal and the extension tolerates the offset).
 			g := ovBeg + rng.Intn(ovEnd-ovBeg-spec.SeedLen+1)
-			sh := clampInt(g-mi.start, 0, len(d.Sequences[i])-spec.SeedLen)
-			sv := clampInt(g-mj.start, 0, len(d.Sequences[j])-spec.SeedLen)
-			PlantSeed(d.Sequences[i], d.Sequences[j], sh, sv, spec.SeedLen)
-			d.Comparisons = append(d.Comparisons, Comparison{
+			sh := clampInt(g-mi.start, 0, len(seqs[i])-spec.SeedLen)
+			sv := clampInt(g-mj.start, 0, len(seqs[j])-spec.SeedLen)
+			PlantSeed(seqs[i], seqs[j], sh, sv, spec.SeedLen)
+			cmps = append(cmps, Comparison{
 				H: i, V: j, SeedH: sh, SeedV: sv, SeedLen: spec.SeedLen,
 			})
 		}
 	}
 
-	if spec.MaxComparisons > 0 && len(d.Comparisons) > spec.MaxComparisons {
-		d.Comparisons = d.Comparisons[:spec.MaxComparisons]
+	if spec.MaxComparisons > 0 && len(cmps) > spec.MaxComparisons {
+		cmps = cmps[:spec.MaxComparisons]
 	}
-	return d
+	return packDataset(spec.Name, false, seqs, cmps)
 }
 
 func sortByStart(order []int, metas []readMeta) {
@@ -326,7 +340,7 @@ type ProteinFamiliesSpec struct {
 // ground-truth family label per sequence (for recall checks).
 func ProteinFamilies(spec ProteinFamiliesSpec) (*Dataset, []int) {
 	rng := rand.New(rand.NewSource(spec.Seed))
-	d := &Dataset{Name: "protein-families", Protein: true}
+	var seqs [][]byte
 	var labels []int
 	prof := MutationProfile{Sub: spec.MutRate * 0.8, Ins: spec.MutRate * 0.1, Del: spec.MutRate * 0.1, Protein: true}
 	for f := 0; f < spec.Families; f++ {
@@ -337,33 +351,13 @@ func ProteinFamilies(spec ProteinFamiliesSpec) (*Dataset, []int) {
 			if len(member) < 8 {
 				member = append(member, RandProtein(rng, 8-len(member))...)
 			}
-			d.Sequences = append(d.Sequences, member)
+			seqs = append(seqs, member)
 			labels = append(labels, f)
 		}
 	}
-	return d, labels
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	return packDataset("protein-families", true, seqs, nil), labels
 }
 
 func clampInt(v, lo, hi int) int {
-	if v < lo {
-		return lo
-	}
-	if v > hi {
-		return hi
-	}
-	return v
+	return min(max(v, lo), hi)
 }

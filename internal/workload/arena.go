@@ -1,0 +1,240 @@
+// The sequence pool Ω as the paper's vertex-packing step wants it (§4.3):
+// one contiguous byte slab plus offset/length spans, so every layer above —
+// partitioner, batcher, driver, kernel — addresses sequences by reference
+// instead of re-slicing and re-copying per comparison. A content-hash index
+// interns identical sequences on append, the way Scrooge/LOGAN-class
+// aligners keep their device-resident pools tight.
+
+package workload
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/sram-align/xdropipu/internal/seqio"
+)
+
+// SeqRef is a sequence span inside an Arena slab: Ω[Off:Off+Len). Spans are
+// 8 bytes, so columnar tables of them stay cache-resident where a [][]byte
+// pool costs 24 bytes of header plus a pointer chase per sequence.
+type SeqRef struct {
+	// Off is the span's byte offset into the slab.
+	Off int32
+	// Len is the span's length in symbols.
+	Len int32
+}
+
+// End returns the exclusive end offset of the span.
+func (r SeqRef) End() int32 { return r.Off + r.Len }
+
+// MaxSlabBytes bounds an arena slab at 2 GiB so 32-bit offsets stay
+// exact. Dataset.Validate enforces it centrally for the execution stack;
+// TryAppend/AppendFasta surface it as an error for input-fed pools.
+const MaxSlabBytes = 1<<31 - 1
+
+// Arena is the packed sequence pool Ω: a single contiguous slab addressed
+// by SeqRef spans. Appending interns by content hash — a sequence already
+// in the pool is stored once and every later append of the same bytes
+// shares its span — and the slab is immutable once datasets or tiles
+// reference it, so any number of concurrent jobs share one copy of Ω.
+type Arena struct {
+	slab []byte
+	refs []SeqRef
+	// index maps content hashes to canonical sequence indices (first
+	// appearance of each distinct byte string).
+	index map[uint64][]int32
+	// savedBytes counts slab bytes avoided by interning.
+	savedBytes int64
+}
+
+// NewArena returns an empty arena with capacity hints: sizeHint slab bytes
+// and seqHint sequence slots (either may be 0).
+func NewArena(sizeHint, seqHint int) *Arena {
+	return &Arena{
+		slab:  make([]byte, 0, sizeHint),
+		refs:  make([]SeqRef, 0, seqHint),
+		index: make(map[uint64][]int32, seqHint),
+	}
+}
+
+// hashBytes is FNV-1a 64, inlined so hashing a candidate sequence does not
+// allocate a hash.Hash.
+func hashBytes(s []byte) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, c := range s {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// Len returns the number of sequences (pool indices) in the arena. Interned
+// duplicates count separately: indices are stable, only storage is shared.
+func (a *Arena) Len() int { return len(a.refs) }
+
+// Seq returns sequence i as a zero-copy view into the slab. Callers must
+// not mutate it once the arena is shared.
+func (a *Arena) Seq(i int) []byte {
+	r := a.refs[i]
+	return a.slab[r.Off:r.End():r.End()]
+}
+
+// Ref returns sequence i's span.
+func (a *Arena) Ref(i int) SeqRef { return a.refs[i] }
+
+// Refs returns the span table (shared; callers must not mutate).
+func (a *Arena) Refs() []SeqRef { return a.refs }
+
+// Slab returns the backing slab (shared; callers must not mutate). The
+// capacity is capped at the length, so an append through the returned
+// slice copies instead of scribbling over the arena's spare capacity.
+func (a *Arena) Slab() []byte { return a.slab[:len(a.slab):len(a.slab)] }
+
+// SeqViews materialises the [][]byte view over the pool: one zero-copy
+// slab span per sequence, in index order.
+func (a *Arena) SeqViews() [][]byte {
+	seqs := make([][]byte, a.Len())
+	for i := range seqs {
+		seqs[i] = a.Seq(i)
+	}
+	return seqs
+}
+
+// SlabBytes returns the physical pool size — what the host actually holds
+// after interning.
+func (a *Arena) SlabBytes() int { return len(a.slab) }
+
+// SeqBytes returns the logical pool size: the sum of span lengths, i.e.
+// what Ω would cost without interning.
+func (a *Arena) SeqBytes() int64 {
+	var n int64
+	for _, r := range a.refs {
+		n += int64(r.Len)
+	}
+	return n
+}
+
+// SavedBytes reports slab bytes avoided by content interning.
+func (a *Arena) SavedBytes() int64 { return a.savedBytes }
+
+// lookup returns the canonical index of s if its bytes are already pooled.
+func (a *Arena) lookup(h uint64, s []byte) (int32, bool) {
+	for _, ci := range a.index[h] {
+		r := a.refs[ci]
+		if int(r.Len) == len(s) && string(a.slab[r.Off:r.End()]) == string(s) {
+			return ci, true
+		}
+	}
+	return 0, false
+}
+
+// TryAppend is Append returning an error instead of panicking when the
+// slab would overflow MaxSlabBytes. The check runs only when the bytes
+// are new — interned duplicates never grow the slab, so they always fit.
+// Paths fed by external input (pipelines, FASTA) use this form.
+func (a *Arena) TryAppend(s []byte) (int, error) {
+	idx := len(a.refs)
+	h := hashBytes(s)
+	if ci, ok := a.lookup(h, s); ok {
+		a.refs = append(a.refs, a.refs[ci])
+		a.savedBytes += int64(len(s))
+		return idx, nil
+	}
+	if len(a.slab)+len(s) > MaxSlabBytes {
+		return 0, fmt.Errorf("workload: arena slab would exceed %d bytes", MaxSlabBytes)
+	}
+	ref := SeqRef{Off: int32(len(a.slab)), Len: int32(len(s))}
+	a.slab = append(a.slab, s...)
+	a.refs = append(a.refs, ref)
+	a.index[h] = append(a.index[h], int32(idx))
+	return idx, nil
+}
+
+// Append adds s to the pool and returns its new sequence index. Storage is
+// interned: when identical bytes are already pooled the new index shares
+// the existing span and the slab does not grow. Index assignment is always
+// sequential, so callers' external numbering (reads, comparisons) survives
+// interning untouched. Append panics if the slab would exceed
+// MaxSlabBytes — use TryAppend where the input size is not under the
+// caller's control.
+func (a *Arena) Append(s []byte) int {
+	idx, err := a.TryAppend(s)
+	if err != nil {
+		panic(err.Error())
+	}
+	return idx
+}
+
+// Intern is Append with full deduplication: identical bytes return the
+// existing sequence index instead of minting a new one. Use it when the
+// caller keeps its own index mapping (e.g. a pipeline deduplicating reads);
+// use Append when external numbering must be preserved.
+func (a *Arena) Intern(s []byte) int {
+	h := hashBytes(s)
+	if ci, ok := a.lookup(h, s); ok {
+		a.savedBytes += int64(len(s))
+		return int(ci)
+	}
+	return a.Append(s)
+}
+
+// AppendFasta parses FASTA records from r, validating against alpha, and
+// packs each record's symbols straight into the slab — no per-record
+// sequence allocation. It returns the record IDs in pool-index order.
+// Oversized inputs (slab past 2 GiB) surface as an error, not a panic.
+func (a *Arena) AppendFasta(r io.Reader, alpha *seqio.Alphabet) ([]string, error) {
+	var ids []string
+	err := seqio.ReadFastaFunc(r, alpha, func(id, desc string, seq []byte) error {
+		if _, err := a.TryAppend(seq); err != nil {
+			return fmt.Errorf("record %q: %w", id, err)
+		}
+		ids = append(ids, id)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// ValidatePlan checks every comparison of p against the arena: sequence
+// indices in the pool, seeds in range. This is the single validation
+// implementation; Dataset.Validate delegates here through its spine.
+func (a *Arena) ValidatePlan(p *Plan) error {
+	return validateComparisons(a.Len(), func(i int) int { return int(a.refs[i].Len) }, p.Len(), p.At)
+}
+
+// validateComparisons is the one bounds-checking implementation shared by
+// Arena.ValidatePlan and Dataset.Validate (satellite: no ad-hoc copies in
+// driver or partition).
+func validateComparisons(nseqs int, seqLen func(int) int, n int, at func(int) Comparison) error {
+	for i := 0; i < n; i++ {
+		c := at(i)
+		if c.H < 0 || c.H >= nseqs || c.V < 0 || c.V >= nseqs {
+			return fmt.Errorf("workload: comparison %d references missing sequence", i)
+		}
+		lh, lv := seqLen(c.H), seqLen(c.V)
+		if c.SeedLen <= 0 || c.SeedH < 0 || c.SeedV < 0 ||
+			c.SeedH+c.SeedLen > lh || c.SeedV+c.SeedLen > lv {
+			return fmt.Errorf("workload: comparison %d seed out of range", i)
+		}
+	}
+	return nil
+}
+
+// NewDataset builds the compatibility view over the arena and a comparison
+// plan: Sequences are zero-copy spans of the slab, Comparisons the
+// materialised plan rows. The view is what legacy layers consume; the
+// spine (arena + plan) is what the execution stack runs on.
+func (a *Arena) NewDataset(name string, p *Plan, protein bool) *Dataset {
+	d := &Dataset{
+		Name:        name,
+		Sequences:   a.SeqViews(),
+		Comparisons: p.Comparisons(),
+		Protein:     protein,
+	}
+	d.arena, d.plan = a, p
+	d.spineSeqs, d.spineCmps = d.Sequences, d.Comparisons
+	return d
+}

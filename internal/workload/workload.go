@@ -1,10 +1,20 @@
 // Package workload defines the interchange format between workload
 // producers (synthetic generators, the ELBA and PASTIS pipelines) and the
-// alignment execution stack (partitioner, batcher, driver, kernels): a
-// sequence pool Ω plus the list of planned seed extensions over it (§4.3).
+// alignment execution stack (partitioner, batcher, driver, kernels).
+//
+// The canonical representation is the arena spine: the sequence pool Ω as
+// one contiguous, content-interned byte slab addressed by SeqRef spans
+// (Arena), plus the planned seed extensions as a columnar Plan table
+// (§4.3). Dataset remains as the compatibility view over the spine —
+// Sequences are zero-copy slab spans, Comparisons materialised plan rows —
+// so producers that still assemble [][]byte pools keep working: their
+// spine is built lazily on first use by the execution stack.
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Comparison is one planned pairwise alignment: two sequence indices plus
 // the seed match that anchors the extension — the e_c tuple of §4.3.
@@ -18,18 +28,94 @@ type Comparison struct {
 }
 
 // Dataset is a set of sequences plus the comparisons to run on them.
+// Arena-backed datasets (Arena.NewDataset) carry their spine from birth;
+// hand-assembled ones grow it on demand via Spine.
+//
+// A Dataset contains a mutex guarding the cached spine and must not be
+// copied by value after first use — share the pointer (go vet's
+// copylocks check flags violations).
 type Dataset struct {
 	// Name labels the dataset in reports.
 	Name string
-	// Sequences is the sequence pool Ω (§4.3).
+	// Sequences is the sequence pool Ω (§4.3). In an arena-backed dataset
+	// these are zero-copy spans of the slab.
 	Sequences [][]byte
 	// Comparisons lists the planned seed extensions.
 	Comparisons []Comparison
 	// Protein marks amino-acid data.
 	Protein bool
+
+	mu    sync.Mutex
+	arena *Arena
+	plan  *Plan
+	// spineSeqs/spineCmps remember the exact slices the cached spine was
+	// built from, so replacing a field wholesale (even with an equal
+	// count) is detected and the stale half rebuilt.
+	spineSeqs [][]byte
+	spineCmps []Comparison
 }
 
-// TotalSeqBytes sums sequence lengths.
+// sameSlice reports whether two slices share length and backing array —
+// the cheap identity test behind spine staleness detection.
+func sameSlice[T any](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}
+
+// Spine returns the dataset's arena and columnar plan, building and
+// caching them on first call for datasets assembled from plain slices.
+// The build packs Ω into one slab (interning duplicate sequences) and
+// transposes Comparisons into columns; every later consumer — partitioner,
+// tiles, concurrent engine jobs — shares that single immutable copy.
+//
+// Producers that extend or replace a dataset's slices after its spine
+// exists (e.g. attaching comparisons to a generated pool) are caught by
+// a slice-identity check — length or backing array changed — and get
+// that half of the spine rebuilt. Edits that keep both (overwriting
+// entries in place, or truncate-and-refill to the same length within the
+// same backing array) are not detectable, so a dataset handed to the
+// execution stack must stop mutating; reuse a fresh slice per batch of
+// comparisons instead.
+func (d *Dataset) Spine() (*Arena, *Plan) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.arena == nil || !sameSlice(d.spineSeqs, d.Sequences) {
+		a := NewArena(int(d.TotalSeqBytes()), len(d.Sequences))
+		for _, s := range d.Sequences {
+			a.Append(s)
+		}
+		d.arena = a
+		d.spineSeqs = d.Sequences
+	}
+	if d.plan == nil || !sameSlice(d.spineCmps, d.Comparisons) {
+		d.plan = PlanOf(d.Comparisons)
+		d.spineCmps = d.Comparisons
+	}
+	return d.arena, d.plan
+}
+
+// Clone returns a deep copy of the dataset: every sequence in a private
+// buffer, comparisons by value, no spine. It is the escape hatch for
+// callers that must mutate a dataset in place (seed planting in
+// experiments, per-job pools in benchmarks) — arena-backed datasets are
+// immutable and may alias interned spans, so mutate a Clone instead.
+func (d *Dataset) Clone() *Dataset {
+	c := &Dataset{
+		Name:        d.Name,
+		Sequences:   make([][]byte, len(d.Sequences)),
+		Comparisons: append([]Comparison(nil), d.Comparisons...),
+		Protein:     d.Protein,
+	}
+	for i, s := range d.Sequences {
+		c.Sequences[i] = append([]byte(nil), s...)
+	}
+	return c
+}
+
+// TotalSeqBytes sums sequence lengths (the logical |Ω|; interning may
+// store less — see Arena.SlabBytes).
 func (d *Dataset) TotalSeqBytes() int64 {
 	var n int64
 	for _, s := range d.Sequences {
@@ -38,19 +124,27 @@ func (d *Dataset) TotalSeqBytes() int64 {
 	return n
 }
 
-// Validate checks that every comparison's seed is in range.
+// Validate checks that every comparison references a pooled sequence and
+// anchors its seed in range, and that the pool fits an arena slab. This
+// delegates to the single implementation shared with Arena.ValidatePlan;
+// the driver calls it once per submission on every entry path, so layers
+// below (partition, kernel) index and build the spine without
+// re-checking.
 func (d *Dataset) Validate() error {
-	for i, c := range d.Comparisons {
-		if c.H < 0 || c.H >= len(d.Sequences) || c.V < 0 || c.V >= len(d.Sequences) {
-			return fmt.Errorf("workload: comparison %d references missing sequence", i)
-		}
-		h, v := d.Sequences[c.H], d.Sequences[c.V]
-		if c.SeedLen <= 0 || c.SeedH < 0 || c.SeedV < 0 ||
-			c.SeedH+c.SeedLen > len(h) || c.SeedV+c.SeedLen > len(v) {
-			return fmt.Errorf("workload: comparison %d seed out of range", i)
-		}
+	d.mu.Lock()
+	// Only a spine built from the current pool proves the pool fits (at
+	// append time; interning may legitimately make the logical sum exceed
+	// the physical slab). A replaced Sequences slice will be re-packed by
+	// Spine, so it must pass the cap here first.
+	poolPacked := d.arena != nil && sameSlice(d.spineSeqs, d.Sequences)
+	d.mu.Unlock()
+	if !poolPacked && d.TotalSeqBytes() > MaxSlabBytes {
+		return fmt.Errorf("workload: sequence pool exceeds the %d-byte arena slab limit", int64(MaxSlabBytes))
 	}
-	return nil
+	return validateComparisons(len(d.Sequences),
+		func(i int) int { return len(d.Sequences[i]) },
+		len(d.Comparisons),
+		func(i int) Comparison { return d.Comparisons[i] })
 }
 
 // ExtensionLens returns the four extension lengths of comparison c: the

@@ -30,6 +30,7 @@ import (
 	"github.com/sram-align/xdropipu/internal/pastis"
 	"github.com/sram-align/xdropipu/internal/platform"
 	"github.com/sram-align/xdropipu/internal/scoring"
+	"github.com/sram-align/xdropipu/internal/seqio"
 	"github.com/sram-align/xdropipu/internal/workload"
 )
 
@@ -82,12 +83,43 @@ var (
 
 // Workload types shared by the execution stack and the pipelines.
 type (
-	// Dataset is a sequence pool plus planned comparisons.
+	// Dataset is a sequence pool plus planned comparisons — the
+	// compatibility view over the arena spine.
 	Dataset = workload.Dataset
 	// Comparison is one planned seed extension.
 	Comparison = workload.Comparison
 	// Alignment is one comparison's result in dataset coordinates.
 	Alignment = workload.Alignment
+	// Arena is the packed sequence pool Ω: one contiguous slab with
+	// content-interned spans, shared zero-copy by every concurrent job.
+	Arena = workload.Arena
+	// SeqRef is a sequence span inside an arena slab.
+	SeqRef = workload.SeqRef
+	// CmpPlan is the columnar (struct-of-arrays) comparison table.
+	CmpPlan = workload.Plan
+)
+
+// NewArena returns an empty sequence arena with capacity hints (slab
+// bytes, sequence slots). Fill it with Append/Intern/AppendFasta, build a
+// CmpPlan with PlanOf, then Arena.NewDataset yields the dataset every
+// engine submission can share without duplicating sequence memory.
+func NewArena(sizeHint, seqHint int) *Arena {
+	return workload.NewArena(sizeHint, seqHint)
+}
+
+// PlanOf builds a columnar comparison plan from comparison rows.
+func PlanOf(cmps []Comparison) *CmpPlan { return workload.PlanOf(cmps) }
+
+// Alphabet reports which byte symbols are valid for a sequence kind
+// (Arena.AppendFasta validates against one).
+type Alphabet = seqio.Alphabet
+
+// FASTA alphabets.
+var (
+	// DNAAlphabet accepts ACGT plus N, either case.
+	DNAAlphabet = seqio.DNAAlphabet
+	// ProteinAlphabet accepts the 24 BLOSUM62 symbols.
+	ProteinAlphabet = seqio.ProteinAlphabet
 )
 
 // Simulated IPU execution.
