@@ -4,14 +4,17 @@
 //
 // Usage:
 //
-//	benchtables [-exp name] [-scale n] [-size f] [-seed n] [-list] [-json file]
+//	benchtables [-exp name] [-scale n] [-size f] [-seed n] [-list] [-json file] [-checkjson file]
 //
 // With no -exp it runs the full suite. -scale divides every platform's
 // parallel resources (default 8); -size scales dataset sizes. -json runs
 // the engine throughput benchmark and writes its machine-readable result
-// (Mcells/s per kernel variant plus engine throughput at 1/4/16
-// concurrent submitters) to the given file — the BENCH_engine.json
-// artifact that tracks the performance trajectory across PRs.
+// (Mcells/s per kernel variant, engine throughput at 1/4/16 concurrent
+// submitters, and the dedup/result-cache measurement) to the given file —
+// the BENCH_engine.json artifact that tracks the performance trajectory
+// across PRs. -checkjson verifies an existing artifact against the
+// current schema, the CI gate that catches drift between the committed
+// file and the code that regenerates it.
 package main
 
 import (
@@ -30,12 +33,26 @@ func main() {
 	seed := flag.Int64("seed", 0, "generation seed (0 = default)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonPath := flag.String("json", "", "write BENCH_engine.json-style engine throughput to this file and exit")
+	checkPath := flag.String("checkjson", "", "verify an existing BENCH_engine.json against the current schema and exit (CI drift gate)")
 	flag.Parse()
 
 	if *list {
 		for _, r := range bench.Experiments() {
 			fmt.Printf("%-10s %s\n", r.Name, r.Artifact)
 		}
+		return
+	}
+
+	if *checkPath != "" {
+		data, err := os.ReadFile(*checkPath)
+		if err == nil {
+			err = bench.VerifyEngineJSON(data)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%s matches schema %s\n", *checkPath, bench.EngineBenchSchema)
 		return
 	}
 

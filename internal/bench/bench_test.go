@@ -28,6 +28,36 @@ func TestExperimentsSmoke(t *testing.T) {
 	}
 }
 
+// TestEngineJSONRoundTrip pins the BENCH_engine.json contract: a
+// freshly generated payload must pass VerifyEngineJSON, and schema drift
+// or truncated sections must fail it — the checks CI's -checkjson gate
+// relies on.
+func TestEngineJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEngineJSON(smokeOptions(&bytes.Buffer{}), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEngineJSON(buf.Bytes()); err != nil {
+		t.Fatalf("fresh payload rejected: %v", err)
+	}
+	if err := VerifyEngineJSON([]byte(`{"schema":"xdropipu-bench-engine/v1"}`)); err == nil {
+		t.Error("stale schema version accepted")
+	}
+	// Inject the unknown field into the otherwise-valid payload, so the
+	// only possible rejection reason is strict decoding.
+	withUnknown := strings.Replace(buf.String(), "{", `{"unknown_field": 1,`, 1)
+	if err := VerifyEngineJSON([]byte(withUnknown)); err == nil {
+		t.Error("unknown field accepted (layout drift)")
+	}
+	if err := VerifyEngineJSON(append(buf.Bytes(), buf.Bytes()...)); err == nil {
+		t.Error("trailing data after the payload accepted")
+	}
+	withoutDedup := strings.Replace(buf.String(), `"dedup"`, `"dedup_gone"`, 1)
+	if err := VerifyEngineJSON([]byte(withoutDedup)); err == nil {
+		t.Error("payload missing the dedup section accepted")
+	}
+}
+
 func TestByName(t *testing.T) {
 	if _, ok := ByName("fig5"); !ok {
 		t.Error("fig5 not registered")

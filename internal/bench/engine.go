@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -15,8 +16,9 @@ import (
 	"github.com/sram-align/xdropipu/internal/workload"
 )
 
-// EngineBenchSchema versions the BENCH_engine.json layout.
-const EngineBenchSchema = "xdropipu-bench-engine/v1"
+// EngineBenchSchema versions the BENCH_engine.json layout. v2 added the
+// dedup/cache section (hit rate, dedup ratio, duplicate-heavy speedup).
+const EngineBenchSchema = "xdropipu-bench-engine/v2"
 
 // VariantThroughput is one kernel variant's host-measured throughput.
 type VariantThroughput struct {
@@ -43,15 +45,40 @@ type EngineThroughput struct {
 	WallSeconds float64 `json:"wall_seconds"`
 }
 
+// DedupThroughput measures duplicate-extension elimination and the
+// cross-job result cache on a duplicate-heavy workload: the same jobs run
+// against a plain engine and a WithResultCache engine.
+type DedupThroughput struct {
+	// DupFactor is how many times each comparison is duplicated within a
+	// job (cross-job duplication comes from resubmitting the dataset).
+	DupFactor int `json:"dup_factor"`
+	// Jobs is the submissions per engine.
+	Jobs int `json:"jobs"`
+	// BaselineJobsPerSec and DedupJobsPerSec are completed submissions
+	// over host wall time, dedup/cache off vs on.
+	BaselineJobsPerSec float64 `json:"baseline_jobs_per_sec"`
+	DedupJobsPerSec    float64 `json:"dedup_jobs_per_sec"`
+	// Speedup is DedupJobsPerSec / BaselineJobsPerSec.
+	Speedup float64 `json:"speedup"`
+	// DedupRatio is comparisons per unique extension within one job
+	// (≥ 1; 4 means 4× duplication fully collapsed).
+	DedupRatio float64 `json:"dedup_ratio"`
+	// CacheHitRate is hits/(hits+misses) across the cached engine's
+	// lifetime.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
 // EngineBenchResult is the machine-readable BENCH_engine.json payload:
 // the per-variant kernel throughput plus engine throughput under
-// concurrent submitters, tracked across PRs.
+// concurrent submitters and the dedup/cache measurement, tracked across
+// PRs.
 type EngineBenchResult struct {
 	Schema     string              `json:"schema"`
 	Scale      int                 `json:"scale"`
 	SizeFactor float64             `json:"size_factor"`
 	Variants   []VariantThroughput `json:"variants"`
 	Engine     []EngineThroughput  `json:"engine"`
+	Dedup      *DedupThroughput    `json:"dedup"`
 }
 
 // engineBenchDataset is the common workload: dense enough to produce
@@ -160,7 +187,112 @@ func EngineBench(opt Options) (*EngineBenchResult, error) {
 			WallSeconds:  el,
 		})
 	}
+
+	dedup, err := dedupBench(opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Dedup = dedup
 	return res, nil
+}
+
+// duplicateComparisons returns a view of d with every comparison repeated
+// factor times — the duplicate-heavy shape overlap pipelines produce when
+// candidate sets are resubmitted.
+func duplicateComparisons(d *workload.Dataset, factor int) *workload.Dataset {
+	cmps := make([]workload.Comparison, 0, len(d.Comparisons)*factor)
+	for f := 0; f < factor; f++ {
+		cmps = append(cmps, d.Comparisons...)
+	}
+	return &workload.Dataset{
+		Name: fmt.Sprintf("%s-dup%d", d.Name, factor), Sequences: d.Sequences,
+		Comparisons: cmps, Protein: d.Protein,
+	}
+}
+
+// dedupBench times a duplicate-heavy workload (4× duplicated comparisons,
+// the same dataset resubmitted per job) against a plain engine and a
+// WithResultCache engine, and reports the throughput gain plus the dedup
+// ratio and cache hit rate behind it.
+func dedupBench(opt Options) (*DedupThroughput, error) {
+	const dupFactor = 4
+	jobs := opt.n(8)
+	if jobs > 8 {
+		jobs = 8
+	}
+	if jobs < 2 {
+		jobs = 2
+	}
+	d := duplicateComparisons(opt.engineBenchDataset(5), dupFactor)
+
+	run := func(cached bool) (jobsPerSec float64, st engine.Stats, rep *driver.Report, err error) {
+		cfg := opt.driverConfig(15, 256, 1)
+		cfg.MaxBatchJobs = 64
+		eopts := []engine.Option{engine.WithDriverConfig(cfg)}
+		if cached {
+			eopts = append(eopts, engine.WithResultCache(0))
+		}
+		eng := engine.New(eopts...)
+		defer eng.Close()
+		start := time.Now()
+		for i := 0; i < jobs; i++ {
+			job, err := eng.Submit(context.Background(), d)
+			if err != nil {
+				return 0, engine.Stats{}, nil, err
+			}
+			if rep, err = job.Wait(context.Background()); err != nil {
+				return 0, engine.Stats{}, nil, err
+			}
+		}
+		el := time.Since(start).Seconds()
+		return float64(jobs) / el, eng.Stats(), rep, nil
+	}
+
+	base, _, _, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	dedup, st, rep, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	dt := &DedupThroughput{
+		DupFactor:          dupFactor,
+		Jobs:               jobs,
+		BaselineJobsPerSec: base,
+		DedupJobsPerSec:    dedup,
+		CacheHitRate:       metrics.HitRate(st.CacheHits, st.CacheMisses),
+	}
+	if base > 0 {
+		dt.Speedup = dedup / base
+	}
+	if rep != nil && rep.UniqueExtensions > 0 {
+		dt.DedupRatio = float64(len(rep.Results)) / float64(rep.UniqueExtensions)
+	}
+	return dt, nil
+}
+
+// VerifyEngineJSON checks a BENCH_engine.json payload against the current
+// schema: the version string must match and the layout must strict-decode
+// (unknown or missing sections fail), so CI catches drift between the
+// committed artifact and the code that regenerates it.
+func VerifyEngineJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var res EngineBenchResult
+	if err := dec.Decode(&res); err != nil {
+		return fmt.Errorf("bench: engine JSON does not match the current layout: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("bench: engine JSON has trailing data after the payload")
+	}
+	if res.Schema != EngineBenchSchema {
+		return fmt.Errorf("bench: engine JSON schema %q, want %q (regenerate with benchtables -json)", res.Schema, EngineBenchSchema)
+	}
+	if len(res.Variants) == 0 || len(res.Engine) == 0 || res.Dedup == nil {
+		return fmt.Errorf("bench: engine JSON is missing sections (variants/engine/dedup)")
+	}
+	return nil
 }
 
 // WriteEngineJSON runs EngineBench and writes the payload as indented
@@ -196,5 +328,13 @@ func EngineExp(opt Options) error {
 	}
 	et.AddNote("host throughput, not modeled time; tracked across PRs via BENCH_engine.json")
 	et.Render(opt.W)
+	if d := res.Dedup; d != nil {
+		dt := metrics.NewTable("Engine — dedup + result cache on a duplicate-heavy workload",
+			"dup", "jobs", "base jobs/s", "dedup jobs/s", "speedup", "dedup ratio", "hit rate")
+		dt.AddRow(d.DupFactor, d.Jobs, d.BaselineJobsPerSec, d.DedupJobsPerSec,
+			metrics.Ratio(d.Speedup), d.DedupRatio, metrics.Percent(d.CacheHitRate*100))
+		dt.AddNote("WithResultCache vs plain engine, same %d× duplicated dataset resubmitted per job", d.DupFactor)
+		dt.Render(opt.W)
+	}
 	return nil
 }

@@ -13,7 +13,9 @@ package driver
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -53,6 +55,96 @@ type Config struct {
 	// MaxBatchJobs caps comparisons per batch (0 = SRAM-bound batches).
 	// Finer batches deepen the multi-device work queue.
 	MaxBatchJobs int
+	// DedupExtensions maps every comparison to its unique-extension
+	// representative (content-addressed: interned bytes plus seed
+	// geometry) and executes only the representatives; AssemblePlan fans
+	// each result back out, so reports stay per-comparison while modeled
+	// work drops. Off by default — reports are bit-identical to the
+	// non-dedup stack when disabled, and per-comparison alignments are
+	// identical either way.
+	DedupExtensions bool
+	// Cache, when non-nil, is consulted per unique extension during plan
+	// building and filled when plans are assembled, so byte-identical
+	// extensions across jobs are aligned once (engine.WithResultCache
+	// provides a bounded sharded LRU). A non-nil Cache implies
+	// DedupExtensions.
+	Cache ResultCache
+}
+
+// CacheKey is the full identity a cached extension result depends on:
+// the content-addressed extension (bytes + seed geometry) and a
+// fingerprint of every kernel parameter that can change an alignment
+// (KernelFingerprint). The driver composes both halves on every lookup,
+// so a single ResultCache shared across differently-configured runs can
+// never serve one configuration's scores to another.
+type CacheKey struct {
+	// Kernel is KernelFingerprint of the run's kernel configuration.
+	Kernel uint64
+	// Ext is the extension's content-addressed identity.
+	Ext workload.ExtensionKey
+}
+
+// ResultCache memoises finished extensions across jobs. Get returns the
+// cached alignment for a key (GlobalID in the returned value is
+// meaningless; the assembler rewrites it per comparison); Put records an
+// executed extension. Implementations must be safe for concurrent use —
+// the engine's executors and builders share one cache.
+type ResultCache interface {
+	Get(key CacheKey) (ipukernel.AlignOut, bool)
+	Put(key CacheKey, out ipukernel.AlignOut)
+}
+
+// KernelFingerprint hashes every kernel-configuration input that can
+// change anything in an AlignOut: the algorithm, X, δb, gap penalties
+// and the full scoring table, plus the scheduling knobs that alter the
+// per-result execution trace — the effective thread count (resolved
+// against the model, so Threads=0 on two different IPU generations
+// never aliases and an explicit default never spuriously misses), LR
+// splitting and the work-stealing mode, because a racy steal re-executes
+// a unit and inflates that result's Cells/Antidiagonals. Knobs that only
+// change modeled time (dual issue, the cost model, host-side
+// parallelism) are deliberately excluded, so runs differing only in
+// those share cache entries. Trace statistics of a cache-served result
+// always describe the run that computed it.
+func KernelFingerprint(cfg ipukernel.Config, model platform.IPUModel) uint64 {
+	h := fnv.New64a()
+	put := func(v int64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		h.Write(b[:])
+	}
+	p := cfg.Params
+	put(int64(p.Algo))
+	put(int64(p.X))
+	put(int64(p.DeltaB))
+	put(int64(p.Gap))
+	put(int64(p.GapOpen))
+	put(int64(cfg.EffectiveThreads(model)))
+	flags := int64(0)
+	if cfg.LRSplit {
+		flags |= 1
+	}
+	if cfg.WorkStealing {
+		flags |= 2
+		// BusyWaitVariance only shapes the schedule under work stealing
+		// (ipukernel documents it as ignored otherwise); hashing it
+		// unconditionally would split behaviorally identical configs.
+		if cfg.BusyWaitVariance {
+			flags |= 4
+		}
+	}
+	put(flags)
+	if p.Scorer != nil {
+		tab := p.Scorer.Table()
+		row := make([]byte, len(tab[0]))
+		for _, r := range tab {
+			for i, v := range r {
+				row[i] = byte(v)
+			}
+			h.Write(row)
+		}
+	}
+	return h.Sum64()
 }
 
 // DefaultBatchOverheadSeconds is the modeled per-batch host cost.
@@ -78,6 +170,11 @@ type Plan struct {
 	races, stealOps  int
 	clamped, maxSRAM int
 	reuseFactor      float64
+	// dedup / cache accounting
+	uniqueExtensions     int
+	dedupedComparisons   int
+	cacheHits, cacheMiss int
+	skippedCells         int64
 }
 
 type batchTiming struct {
@@ -122,6 +219,21 @@ type Report struct {
 	ReuseFactor float64
 	// MaxSRAM is the largest tile footprint seen.
 	MaxSRAM int
+	// UniqueExtensions is the number of distinct (pair, seed) extensions
+	// behind Results — equal to len(Results) unless DedupExtensions
+	// collapsed duplicates.
+	UniqueExtensions int
+	// DedupedComparisons counts comparisons served by another row's
+	// extension (0 with dedup off).
+	DedupedComparisons int
+	// CacheHits and CacheMisses count result-cache lookups during plan
+	// building (0 without a cache).
+	CacheHits, CacheMisses int
+	// SkippedTheoreticalCells is the |H|·|V| volume dedup and the cache
+	// kept off the device: TheoreticalCells covers executed work only,
+	// and TheoreticalCells + SkippedTheoreticalCells is the per-comparison
+	// total a dedup-off run would model.
+	SkippedTheoreticalCells int64
 }
 
 // GCUPS returns the paper's metric over the chosen time base.
@@ -175,12 +287,123 @@ type BatchPlan struct {
 	batches     []*ipukernel.Batch
 	comparisons int
 	reuseFactor float64
+
+	// Dedup state (nil dedup = off, every comparison executed as itself).
+	dedup *workload.DedupMap
+	// execUID maps a kernel GlobalID (row in the executed sub-plan) to
+	// its unique-extension ordinal.
+	execUID []int32
+	// cachedOuts holds cache-hit results per unique-extension ordinal;
+	// those extensions were never planned for execution.
+	cachedOuts map[int32]ipukernel.AlignOut
+	// keys / hasKey remember the cache keys of extensions that missed, so
+	// AssemblePlan can fill the cache after execution.
+	keys   []CacheKey
+	hasKey []bool
+	// cacheHits/cacheMisses count lookups at build time; cacheSkipCells
+	// is the per-comparison theoretical volume cache hits kept off the
+	// device (fan-out included).
+	cacheHits, cacheMisses int
+	cacheSkipCells         int64
+
+	// fanOnce/fanOffsets/fanRows lazily build the uid → comparison-rows
+	// index (CSR layout) behind ResultExpander and CachedResults.
+	fanOnce    sync.Once
+	fanOffsets []int32
+	fanRows    []int32
+}
+
+// fanIndex returns the unique-extension → comparison-rows index: rows
+// for ordinal uid are fanRows[fanOffsets[uid]:fanOffsets[uid+1]]. Built
+// once, safe for concurrent use.
+func (bp *BatchPlan) fanIndex() (offsets, rows []int32) {
+	bp.fanOnce.Do(func() {
+		dm := bp.dedup
+		bp.fanOffsets = make([]int32, dm.Unique()+1)
+		for uid, f := range dm.Fanout {
+			bp.fanOffsets[uid+1] = bp.fanOffsets[uid] + f
+		}
+		bp.fanRows = make([]int32, len(dm.RowUID))
+		next := append([]int32(nil), bp.fanOffsets[:dm.Unique()]...)
+		for row, uid := range dm.RowUID {
+			bp.fanRows[next[uid]] = int32(row)
+			next[uid]++
+		}
+	})
+	return bp.fanOffsets, bp.fanRows
+}
+
+// ResultExpander returns a function that maps one executed batch's raw
+// results into per-comparison space: each unique extension's result is
+// fanned out to every comparison row that shares it, with GlobalID
+// rewritten per row — the same view AssemblePlan produces, available
+// per batch so streaming consumers keep the documented "GlobalID indexes
+// the submitted dataset" contract. Returns nil when the plan was built
+// without dedup (results are already per-comparison). The expander holds
+// only the small fan-out index, so callers may retain it after releasing
+// the plan; it is safe for concurrent use.
+//
+// The expansion is best-effort on malformed input: a result whose
+// GlobalID falls outside the executed sub-plan (impossible absent a
+// kernel bug) is dropped from the stream, and the same condition fails
+// the job loudly when AssemblePlan merges the full result set.
+func (bp *BatchPlan) ResultExpander() func([]ipukernel.AlignOut) []ipukernel.AlignOut {
+	if bp.dedup == nil {
+		return nil
+	}
+	offsets, rows := bp.fanIndex()
+	execUID := bp.execUID
+	return func(out []ipukernel.AlignOut) []ipukernel.AlignOut {
+		exp := make([]ipukernel.AlignOut, 0, len(out))
+		for _, o := range out {
+			if o.GlobalID < 0 || o.GlobalID >= len(execUID) {
+				continue
+			}
+			uid := execUID[o.GlobalID]
+			for _, row := range rows[offsets[uid]:offsets[uid+1]] {
+				o.GlobalID = int(row)
+				exp = append(exp, o)
+			}
+		}
+		return exp
+	}
+}
+
+// CachedResults returns the per-comparison results the build resolved
+// from the result cache (fanned out, GlobalID per row, rows in ascending
+// unique-extension order), or nil when nothing was cache-served. These
+// extensions never execute, so they appear in no batch; streaming
+// consumers receive them as an up-front update.
+func (bp *BatchPlan) CachedResults() []ipukernel.AlignOut {
+	if len(bp.cachedOuts) == 0 {
+		return nil
+	}
+	offsets, rows := bp.fanIndex()
+	var res []ipukernel.AlignOut
+	for uid := 0; uid < bp.dedup.Unique(); uid++ {
+		o, ok := bp.cachedOuts[int32(uid)]
+		if !ok {
+			continue
+		}
+		for _, row := range rows[offsets[uid]:offsets[uid+1]] {
+			o.GlobalID = int(row)
+			res = append(res, o)
+		}
+	}
+	return res
 }
 
 // BuildBatches partitions and batches the dataset's comparisons without
 // executing anything. The context is checked between the pipeline's
-// stages (validate → budget → partition → batch), so a cancelled
-// submission aborts before burning kernel time.
+// stages (validate → dedup/cache → budget → partition → batch), so a
+// cancelled submission aborts before burning kernel time.
+//
+// With Config.DedupExtensions (or a Cache), the build first maps every
+// comparison to its unique-extension representative and — when a cache is
+// attached — resolves representatives already memoised from earlier jobs;
+// only the remainder is partitioned and batched. AssemblePlan fans every
+// representative's result back out, so Report.Results stays one entry per
+// submitted comparison.
 func BuildBatches(ctx context.Context, d *workload.Dataset, cfg Config) (*BatchPlan, error) {
 	cfg = cfg.Normalized()
 	if err := ctx.Err(); err != nil {
@@ -191,10 +414,76 @@ func BuildBatches(ctx context.Context, d *workload.Dataset, cfg Config) (*BatchP
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
+	bp := &BatchPlan{cfg: cfg, comparisons: len(d.Comparisons)}
+
+	// The dataset the partitioner sees: the submission itself, or the
+	// unique-extension sub-plan over the same arena when dedup is on.
+	execD := d
+	var fanout []int32
+	if cfg.DedupExtensions || cfg.Cache != nil {
+		arena, plan := d.Spine()
+		dm := arena.DedupPlan(plan)
+		// Duplicate-free traffic with no cache to consult: the executed
+		// sub-plan would be the whole plan, so skip the plan copy, the
+		// derived dataset and the per-row fan-out entirely — the plain
+		// path is byte-for-byte identical.
+		dedupUseful := cfg.Cache != nil || dm.Duplicates() > 0
+		if dedupUseful {
+			bp.dedup = dm
+		}
+		var kernelFP uint64
+		if cfg.Cache != nil {
+			bp.cachedOuts = make(map[int32]ipukernel.AlignOut)
+			bp.keys = make([]CacheKey, dm.Unique())
+			bp.hasKey = make([]bool, dm.Unique())
+			kernelFP = KernelFingerprint(cfg.Kernel, cfg.Model)
+		}
+		if dedupUseful {
+			execRows := make([]int32, 0, dm.Unique())
+			for uid, row := range dm.UniqueRows {
+				c := plan.At(int(row))
+				if cfg.Cache != nil {
+					key := CacheKey{Kernel: kernelFP, Ext: arena.ExtensionKeyOf(c)}
+					if out, ok := cfg.Cache.Get(key); ok {
+						out.GlobalID = -1
+						bp.cachedOuts[int32(uid)] = out
+						bp.cacheHits++
+						bp.cacheSkipCells += int64(dm.Fanout[uid]) *
+							int64(arena.Ref(c.H).Len) * int64(arena.Ref(c.V).Len)
+						continue
+					}
+					bp.cacheMisses++
+					bp.keys[uid], bp.hasKey[uid] = key, true
+				}
+				bp.execUID = append(bp.execUID, int32(uid))
+				execRows = append(execRows, row)
+				fanout = append(fanout, dm.Fanout[uid])
+			}
+			if len(execRows) == 0 {
+				// Every extension came from the cache: nothing to execute.
+				bp.tiles = cfg.EffectiveTiles()
+				bp.reuseFactor = 1
+				return bp, nil
+			}
+			if len(execRows) == plan.Len() {
+				// Identity mapping — nothing collapsed, nothing cached
+				// (execRows ≤ unique ≤ rows, so equality implies both).
+				// Partition the submission itself and skip the plan copy;
+				// the keys/execUID bookkeeping still feeds the Put pass.
+				fanout = nil
+			} else {
+				execD = arena.NewDataset(d.Name, plan.Select(execRows), d.Protein)
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	seqBudget := cfg.SeqBudget
 	if seqBudget <= 0 {
 		var err error
-		seqBudget, err = partition.DeriveSeqBudget(d, cfg.Kernel, cfg.Model)
+		seqBudget, err = partition.DeriveSeqBudget(execD, cfg.Kernel, cfg.Model)
 		if err != nil {
 			return nil, err
 		}
@@ -206,13 +495,13 @@ func BuildBatches(ctx context.Context, d *workload.Dataset, cfg Config) (*BatchP
 
 	// Cap partition size so the workload spreads over every tile.
 	maxCmps := 0
-	if target := tiles * cfg.SpreadFactor; target > 0 && len(d.Comparisons) > 0 {
-		maxCmps = (len(d.Comparisons) + target - 1) / target
+	if target := tiles * cfg.SpreadFactor; target > 0 && len(execD.Comparisons) > 0 {
+		maxCmps = (len(execD.Comparisons) + target - 1) / target
 		if maxCmps < 1 {
 			maxCmps = 1
 		}
 	}
-	items := partition.BuildItems(d, partition.Options{
+	items := partition.BuildItems(execD, partition.Options{
 		SeqBudget: seqBudget,
 		Reuse:     cfg.Partition,
 		MaxCmps:   maxCmps,
@@ -220,17 +509,14 @@ func BuildBatches(ctx context.Context, d *workload.Dataset, cfg Config) (*BatchP
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	batches, err := partition.MakeBatchesLimit(d, items, tiles, cfg.Kernel, cfg.Model, cfg.MaxBatchJobs)
+	batches, err := partition.MakeBatchesFanout(execD, items, tiles, cfg.Kernel, cfg.Model, cfg.MaxBatchJobs, fanout)
 	if err != nil {
 		return nil, err
 	}
-	return &BatchPlan{
-		cfg:         cfg,
-		tiles:       tiles,
-		batches:     batches,
-		comparisons: len(d.Comparisons),
-		reuseFactor: partition.ReuseFactor(d, items),
-	}, nil
+	bp.tiles = tiles
+	bp.batches = batches
+	bp.reuseFactor = partition.ReuseFactor(execD, items)
+	return bp, nil
 }
 
 // Batches returns the number of supersteps in the build.
@@ -270,21 +556,52 @@ func (bp *BatchPlan) ExecBatch(dev *ipu.Device, i int, kcfg ipukernel.Config) (*
 // merge runs in batch order — results are keyed by GlobalID and the
 // aggregates are order-independent sums — so the plan (and every Report
 // scheduled from it) is identical for any execution interleaving.
+//
+// When the plan was built with dedup, executed (and cache-hit) results
+// are gathered per unique extension first, then fanned out to every
+// comparison that shares the extension, with GlobalID rewritten per row;
+// freshly executed extensions are pushed into the configured cache so
+// later jobs can skip them.
 func AssemblePlan(bp *BatchPlan, outs []*ipukernel.BatchResult) (*Plan, error) {
 	if len(outs) != len(bp.batches) {
 		return nil, fmt.Errorf("driver: %d batch results for %d batches", len(outs), len(bp.batches))
 	}
 	p := &Plan{
-		cfg:         bp.cfg,
-		tiles:       bp.tiles,
-		results:     make([]ipukernel.AlignOut, bp.comparisons),
-		reuseFactor: bp.reuseFactor,
+		cfg:              bp.cfg,
+		tiles:            bp.tiles,
+		results:          make([]ipukernel.AlignOut, bp.comparisons),
+		reuseFactor:      bp.reuseFactor,
+		uniqueExtensions: bp.comparisons,
+		cacheHits:        bp.cacheHits,
+		cacheMiss:        bp.cacheMisses,
+		skippedCells:     bp.cacheSkipCells,
+	}
+	var uniqueOut []ipukernel.AlignOut
+	var have []bool
+	if bp.dedup != nil {
+		p.uniqueExtensions = bp.dedup.Unique()
+		p.dedupedComparisons = bp.dedup.Duplicates()
+		uniqueOut = make([]ipukernel.AlignOut, bp.dedup.Unique())
+		have = make([]bool, bp.dedup.Unique())
+		for uid, out := range bp.cachedOuts {
+			uniqueOut[uid] = out
+			have[uid] = true
+		}
 	}
 	for bi, res := range outs {
 		if res == nil {
 			return nil, fmt.Errorf("driver: batch %d has no result", bi)
 		}
 		for _, o := range res.Out {
+			if bp.dedup != nil {
+				if o.GlobalID < 0 || o.GlobalID >= len(bp.execUID) {
+					return nil, fmt.Errorf("driver: result for unknown comparison %d", o.GlobalID)
+				}
+				uid := bp.execUID[o.GlobalID]
+				uniqueOut[uid] = o
+				have[uid] = true
+				continue
+			}
 			if o.GlobalID < 0 || o.GlobalID >= len(p.results) {
 				return nil, fmt.Errorf("driver: result for unknown comparison %d", o.GlobalID)
 			}
@@ -308,8 +625,36 @@ func AssemblePlan(bp *BatchPlan, outs []*ipukernel.BatchResult) (*Plan, error) {
 		p.antidiags += res.Antidiags
 		p.races += res.Races
 		p.stealOps += res.StealOps
+		p.skippedCells += res.DedupSkippedCells
 		if res.MaxSRAM > p.maxSRAM {
 			p.maxSRAM = res.MaxSRAM
+		}
+	}
+	if bp.dedup != nil {
+		// Fan each unique extension's result back out to every comparison
+		// that shares it. Coordinates and scores are content-derived, so
+		// duplicates receive bit-identical alignments; only GlobalID is
+		// per-row.
+		for i := range p.results {
+			uid := bp.dedup.RowUID[i]
+			if !have[uid] {
+				return nil, fmt.Errorf("driver: no result for unique extension %d (comparison %d)", uid, i)
+			}
+			o := uniqueOut[uid]
+			o.GlobalID = i
+			if o.Clamped {
+				p.clamped++
+			}
+			p.results[i] = o
+		}
+		if bp.cfg.Cache != nil {
+			for uid, ok := range bp.hasKey {
+				if ok && have[uid] {
+					o := uniqueOut[uid]
+					o.GlobalID = -1
+					bp.cfg.Cache.Put(bp.keys[uid], o)
+				}
+			}
 		}
 	}
 	return p, nil
@@ -380,22 +725,27 @@ func (p *Plan) Schedule(ipus int) *Report {
 		ipus = 1
 	}
 	rep := &Report{
-		Results:              p.results,
-		Batches:              len(p.batches),
-		IPUs:                 ipus,
-		DeviceComputeSeconds: p.deviceCompute,
-		HostBytesIn:          p.hostBytesIn,
-		UniqueSeqBytesIn:     p.uniqueSeqIn,
-		HostBytesOut:         p.hostBytesOut,
-		TheoreticalCells:     p.theoretical,
-		Cells:                p.cells,
-		SumBand:              p.sumBand,
-		Antidiags:            p.antidiags,
-		Races:                p.races,
-		StealOps:             p.stealOps,
-		Clamped:              p.clamped,
-		ReuseFactor:          p.reuseFactor,
-		MaxSRAM:              p.maxSRAM,
+		Results:                 p.results,
+		Batches:                 len(p.batches),
+		IPUs:                    ipus,
+		DeviceComputeSeconds:    p.deviceCompute,
+		HostBytesIn:             p.hostBytesIn,
+		UniqueSeqBytesIn:        p.uniqueSeqIn,
+		HostBytesOut:            p.hostBytesOut,
+		TheoreticalCells:        p.theoretical,
+		Cells:                   p.cells,
+		SumBand:                 p.sumBand,
+		Antidiags:               p.antidiags,
+		Races:                   p.races,
+		StealOps:                p.stealOps,
+		Clamped:                 p.clamped,
+		ReuseFactor:             p.reuseFactor,
+		MaxSRAM:                 p.maxSRAM,
+		UniqueExtensions:        p.uniqueExtensions,
+		DedupedComparisons:      p.dedupedComparisons,
+		CacheHits:               p.cacheHits,
+		CacheMisses:             p.cacheMiss,
+		SkippedTheoreticalCells: p.skippedCells,
 	}
 	overhead := p.cfg.BatchOverheadSeconds
 	if overhead <= 0 {

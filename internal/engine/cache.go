@@ -1,0 +1,114 @@
+// The cross-job result cache: a bounded, sharded LRU over finished
+// extensions, shared by every submission an engine serves. Keys are the
+// driver's CacheKey — the extension's content-addressed identity
+// (sequence digests, lengths, seed geometry) plus a fingerprint of the
+// kernel configuration — so two clients submitting byte-identical work
+// under the same scoring regime hit each other's results regardless of
+// pool numbering, the way LOGAN-class batch aligners avoid ever
+// re-extending identical seed pairs.
+
+package engine
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"github.com/sram-align/xdropipu/internal/driver"
+	"github.com/sram-align/xdropipu/internal/ipukernel"
+)
+
+// DefaultResultCacheEntries is the capacity WithResultCache(0) selects.
+const DefaultResultCacheEntries = 1 << 16
+
+// cacheShards fixes the shard count; per-shard locks keep concurrent
+// builders and assemblers from serialising on one mutex.
+const cacheShards = 16
+
+type cacheEntry struct {
+	key driver.CacheKey
+	out ipukernel.AlignOut
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	m   map[driver.CacheKey]*list.Element
+	lru list.List // front = most recently used
+}
+
+// resultCache implements driver.ResultCache: a sharded LRU bounded at
+// construction, with hit/miss/evict counters surfaced through
+// Engine.Stats. Shard maps are keyed by the full CacheKey struct, so
+// entries that collide in the shard hash still compare by every field —
+// a shard-hash collision can never alias two extensions.
+type resultCache struct {
+	perShard int
+	shards   [cacheShards]cacheShard
+
+	hits, misses, evictions atomic.Int64
+}
+
+func newResultCache(entries int) *resultCache {
+	if entries <= 0 {
+		entries = DefaultResultCacheEntries
+	}
+	perShard := (entries + cacheShards - 1) / cacheShards
+	c := &resultCache{perShard: perShard}
+	for i := range c.shards {
+		c.shards[i].m = make(map[driver.CacheKey]*list.Element, perShard)
+	}
+	return c
+}
+
+// shardOf mixes the key's digests, seed geometry and kernel fingerprint
+// into a shard index.
+func (c *resultCache) shardOf(k driver.CacheKey) *cacheShard {
+	h := k.Ext.H.Lo ^ k.Ext.V.Hi ^ k.Kernel ^
+		uint64(uint32(k.Ext.SeedH))<<32 ^ uint64(uint32(k.Ext.SeedV))<<1 ^
+		uint64(uint32(k.Ext.SeedLen))
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	return &c.shards[h%cacheShards]
+}
+
+// Get implements driver.ResultCache.
+func (c *resultCache) Get(k driver.CacheKey) (ipukernel.AlignOut, bool) {
+	s := c.shardOf(k)
+	s.mu.Lock()
+	el, ok := s.m[k]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return ipukernel.AlignOut{}, false
+	}
+	s.lru.MoveToFront(el)
+	out := el.Value.(*cacheEntry).out
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return out, true
+}
+
+// Put implements driver.ResultCache.
+func (c *resultCache) Put(k driver.CacheKey, out ipukernel.AlignOut) {
+	s := c.shardOf(k)
+	s.mu.Lock()
+	if el, ok := s.m[k]; ok {
+		// Results are deterministic per key, so overwrite == refresh.
+		el.Value.(*cacheEntry).out = out
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	s.m[k] = s.lru.PushFront(&cacheEntry{key: k, out: out})
+	var evicted int64
+	for s.lru.Len() > c.perShard {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.m, back.Value.(*cacheEntry).key)
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+}

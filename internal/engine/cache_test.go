@@ -1,0 +1,419 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"github.com/sram-align/xdropipu/internal/core"
+	"github.com/sram-align/xdropipu/internal/driver"
+	"github.com/sram-align/xdropipu/internal/ipukernel"
+	"github.com/sram-align/xdropipu/internal/platform"
+	"github.com/sram-align/xdropipu/internal/scoring"
+	"github.com/sram-align/xdropipu/internal/synth"
+	"github.com/sram-align/xdropipu/internal/workload"
+)
+
+func cacheTestConfig() driver.Config {
+	return driver.Config{IPUs: 1, Partition: true, Kernel: ipukernel.Config{
+		Params: core.Params{Scorer: scoring.DNADefault, Gap: -1, X: 10, DeltaB: 128}}}
+}
+
+func cacheTestDataset(seed int64) *workload.Dataset {
+	return synth.UniformPairs(synth.UniformPairsSpec{
+		Count: 10, Length: 400, ErrorRate: 0.15, SeedLen: 17, Seed: seed})
+}
+
+// TestEngineResultCacheCrossJob: the second submission of byte-identical
+// work — a different Dataset object with its own pool numbering — must be
+// served from the cache without executing a single batch, with results
+// bit-identical to an uncached engine.
+func TestEngineResultCacheCrossJob(t *testing.T) {
+	d1 := cacheTestDataset(11)
+	d2 := d1.Clone() // same bytes, fresh slices, fresh spine
+
+	want, err := driver.Run(d1.Clone(), cacheTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := New(WithDriverConfig(cacheTestConfig()), WithResultCache(1<<12))
+	defer eng.Close()
+
+	j1, err := eng.Submit(context.Background(), d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := j1.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := eng.Stats()
+	if st1.CacheHits != 0 || st1.CacheMisses == 0 {
+		t.Fatalf("cold job: hits %d misses %d", st1.CacheHits, st1.CacheMisses)
+	}
+
+	j2, err := eng.Submit(context.Background(), d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := j2.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := eng.Stats()
+
+	for i := range want.Results {
+		if rep1.Results[i] != want.Results[i] {
+			t.Fatalf("cached engine result %d differs from driver.Run: %+v vs %+v", i, rep1.Results[i], want.Results[i])
+		}
+		if rep2.Results[i] != want.Results[i] {
+			t.Fatalf("cache-served result %d differs from driver.Run: %+v vs %+v", i, rep2.Results[i], want.Results[i])
+		}
+	}
+	if rep2.Batches != 0 {
+		t.Errorf("warm job executed %d batches, want 0", rep2.Batches)
+	}
+	if hits := st2.CacheHits - st1.CacheHits; hits != int64(rep2.UniqueExtensions) {
+		t.Errorf("warm job scored %d hits, want %d", hits, rep2.UniqueExtensions)
+	}
+	if st2.BatchesDone != st1.BatchesDone {
+		t.Errorf("warm job grew BatchesDone: %d -> %d", st1.BatchesDone, st2.BatchesDone)
+	}
+}
+
+// TestEngineDedupMatchesPlainEngine: WithDedupExtensions alone (no
+// cache) must reproduce plain per-comparison results on duplicate-heavy
+// submissions.
+func TestEngineDedupMatchesPlainEngine(t *testing.T) {
+	base := cacheTestDataset(23)
+	dup := &workload.Dataset{Name: base.Name, Sequences: base.Sequences, Protein: base.Protein}
+	for i := 0; i < 5; i++ {
+		dup.Comparisons = append(dup.Comparisons, base.Comparisons...)
+	}
+
+	want, err := driver.Run(dup, cacheTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(WithDriverConfig(cacheTestConfig()), WithDedupExtensions(true))
+	defer eng.Close()
+	j, err := eng.Submit(context.Background(), dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Results {
+		if rep.Results[i] != want.Results[i] {
+			t.Fatalf("dedup result %d: %+v, want %+v", i, rep.Results[i], want.Results[i])
+		}
+	}
+	if rep.UniqueExtensions != len(base.Comparisons) {
+		t.Errorf("UniqueExtensions = %d, want %d", rep.UniqueExtensions, len(base.Comparisons))
+	}
+}
+
+func testKey(i int) driver.CacheKey {
+	return driver.CacheKey{Kernel: 1, Ext: workload.ExtensionKey{
+		H:    workload.SeqDigest{Lo: uint64(i) * 7919, Hi: uint64(i) * 104729},
+		V:    workload.SeqDigest{Lo: uint64(i) * 13, Hi: uint64(i) * 31},
+		HLen: 100, VLen: 100, SeedH: 1, SeedV: 2, SeedLen: 17,
+	}}
+}
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	// Capacity 16 → one entry per shard: inserting many keys per shard
+	// must evict and count it, and evicted keys must miss.
+	c := newResultCache(cacheShards)
+	n := 200
+	for i := 0; i < n; i++ {
+		c.Put(testKey(i), ipukernel.AlignOut{Score: i})
+	}
+	if ev := c.evictions.Load(); ev == 0 {
+		t.Fatal("no evictions counted past capacity")
+	}
+	live := 0
+	for i := 0; i < n; i++ {
+		if out, ok := c.Get(testKey(i)); ok {
+			live++
+			if out.Score != i {
+				t.Fatalf("key %d returned score %d", i, out.Score)
+			}
+		}
+	}
+	if live > cacheShards {
+		t.Errorf("%d entries live, capacity %d", live, cacheShards)
+	}
+	if live == 0 {
+		t.Error("everything evicted — LRU keeps nothing?")
+	}
+}
+
+// TestResultCacheCollisionSafety: entries whose keys collide in the
+// shard hash (shardOf ignores HLen/VLen, so these land in one shard) must
+// still resolve independently — the shard map compares the full key
+// struct, so no hash collision can alias two extensions.
+func TestResultCacheCollisionSafety(t *testing.T) {
+	c := newResultCache(1 << 10)
+	k1 := testKey(1)
+	k2 := k1
+	k2.Ext.HLen = 101 // same shard hash, different extension
+	k3 := k1
+	k3.Ext.V.Hi++ // digest differing only in the second hash half
+	k4 := k1
+	k4.Kernel++ // same extension, different kernel configuration
+
+	c.Put(k1, ipukernel.AlignOut{Score: 10})
+	if _, ok := c.Get(k2); ok {
+		t.Fatal("colliding key served another extension's result")
+	}
+	if _, ok := c.Get(k3); ok {
+		t.Fatal("digest half-collision served another extension's result")
+	}
+	if _, ok := c.Get(k4); ok {
+		t.Fatal("entry served across kernel configurations")
+	}
+	c.Put(k2, ipukernel.AlignOut{Score: 20})
+	c.Put(k3, ipukernel.AlignOut{Score: 30})
+	c.Put(k4, ipukernel.AlignOut{Score: 40})
+	for i, want := range map[int]driver.CacheKey{10: k1, 20: k2, 30: k3, 40: k4} {
+		out, ok := c.Get(want)
+		if !ok || out.Score != i {
+			t.Errorf("key for score %d: ok=%v out=%+v", i, ok, out)
+		}
+	}
+}
+
+// TestKernelFingerprint: every parameter that can change anything in an
+// AlignOut must change the fingerprint — including scheduling knobs like
+// work stealing, whose racy re-executions inflate a result's trace
+// statistics — while knobs that only affect modeled time (dual issue,
+// host parallelism, the cost model) must not.
+func TestKernelFingerprint(t *testing.T) {
+	base := ipukernel.Config{Params: core.Params{Scorer: scoring.DNADefault, Gap: -1, X: 10, DeltaB: 128}}
+	fp := driver.KernelFingerprint(base, platform.GC200)
+
+	mut := base
+	mut.Params.X = 20
+	if driver.KernelFingerprint(mut, platform.GC200) == fp {
+		t.Error("X change kept the fingerprint")
+	}
+	mut = base
+	mut.Params.Scorer = scoring.Blosum62
+	if driver.KernelFingerprint(mut, platform.GC200) == fp {
+		t.Error("scorer change kept the fingerprint")
+	}
+	mut = base
+	mut.Params.DeltaB = 64
+	if driver.KernelFingerprint(mut, platform.GC200) == fp {
+		t.Error("δb change kept the fingerprint")
+	}
+	mut = base
+	mut.WorkStealing = true
+	if driver.KernelFingerprint(mut, platform.GC200) == fp {
+		t.Error("work-stealing change kept the fingerprint (racy steals alter trace stats)")
+	}
+	mut = base
+	mut.LRSplit = true
+	if driver.KernelFingerprint(mut, platform.GC200) == fp {
+		t.Error("LR-split change kept the fingerprint")
+	}
+	mut = base
+	mut.Threads = 2
+	if driver.KernelFingerprint(mut, platform.GC200) == fp {
+		t.Error("thread-count change kept the fingerprint")
+	}
+	// Threads=0 means "the model's hardware threads": it must equal an
+	// explicit default on the same model, and differ across models with
+	// different thread counts.
+	mut = base
+	mut.Threads = platform.GC200.ThreadsPerTile
+	if driver.KernelFingerprint(mut, platform.GC200) != fp {
+		t.Error("explicit default thread count spuriously missed")
+	}
+	small := platform.GC200
+	small.ThreadsPerTile = 2
+	if driver.KernelFingerprint(base, small) == fp {
+		t.Error("Threads=0 aliased across models with different hardware threads")
+	}
+	mut = base
+	mut.DualIssue, mut.Parallelism = true, 4
+	if driver.KernelFingerprint(mut, platform.GC200) != fp {
+		t.Error("time-only knobs altered the fingerprint")
+	}
+}
+
+// TestStreamingPerComparisonUnderDedup: with dedup and the result cache
+// on, job.Results() must still deliver exactly one result per submitted
+// comparison, with GlobalID in the submitted dataset's index space and
+// values bit-identical to the final report — including a warm job served
+// entirely from the cache (a single Batch == -1 update).
+func TestStreamingPerComparisonUnderDedup(t *testing.T) {
+	base := cacheTestDataset(47)
+	dup := &workload.Dataset{Name: base.Name, Sequences: base.Sequences, Protein: base.Protein}
+	for i := 0; i < 4; i++ {
+		dup.Comparisons = append(dup.Comparisons, base.Comparisons...)
+	}
+
+	eng := New(WithDriverConfig(cacheTestConfig()), WithResultCache(1<<12))
+	defer eng.Close()
+
+	collect := func(warm bool) map[int]ipukernel.AlignOut {
+		t.Helper()
+		job, err := eng.Submit(context.Background(), dup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[int]ipukernel.AlignOut)
+		for u := range job.Results() {
+			if u.Batch == -1 && !warm && len(got) > 0 {
+				t.Error("cache-served update did not lead the stream")
+			}
+			for _, o := range u.Results {
+				if o.GlobalID < 0 || o.GlobalID >= len(dup.Comparisons) {
+					t.Fatalf("streamed GlobalID %d outside the submitted comparison list", o.GlobalID)
+				}
+				if _, dupID := got[o.GlobalID]; dupID {
+					t.Fatalf("comparison %d streamed twice", o.GlobalID)
+				}
+				got[o.GlobalID] = o
+			}
+		}
+		rep, err := job.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(dup.Comparisons) {
+			t.Fatalf("streamed %d comparisons, submitted %d", len(got), len(dup.Comparisons))
+		}
+		for i, want := range rep.Results {
+			if got[i] != want {
+				t.Fatalf("streamed result %d %+v != report %+v", i, got[i], want)
+			}
+		}
+		if warm && rep.Batches != 0 {
+			t.Errorf("warm job executed %d batches", rep.Batches)
+		}
+		return got
+	}
+
+	cold := collect(false)
+	warmGot := collect(true)
+	for i := range cold {
+		if cold[i] != warmGot[i] {
+			t.Fatalf("warm stream result %d differs from cold", i)
+		}
+	}
+}
+
+// benchmarkSubmitDedup measures job throughput on a duplicate-heavy
+// workload (each comparison planned 4×) under three engine modes; the
+// dedup and cache rows should run ≥ 2× the jobs/s of the off row.
+func benchmarkSubmitDedup(b *testing.B, submitters int, opts ...Option) {
+	base := synth.UniformPairs(synth.UniformPairsSpec{
+		Count: 12, Length: 500, ErrorRate: 0.15, SeedLen: 17, Seed: 77})
+	dup := &workload.Dataset{Name: "dup4", Sequences: base.Sequences, Protein: base.Protein}
+	for i := 0; i < 4; i++ {
+		dup.Comparisons = append(dup.Comparisons, base.Comparisons...)
+	}
+
+	cfg := driver.Config{IPUs: 1, Partition: true, Kernel: ipukernel.Config{
+		Params: core.Params{Scorer: scoring.DNADefault, Gap: -1, X: 10, DeltaB: 128}}}
+	eng := New(append([]Option{WithDriverConfig(cfg),
+		WithQueueDepth(max(submitters, DefaultQueueDepth))}, opts...)...)
+	defer eng.Close()
+
+	if j, err := eng.Submit(context.Background(), dup); err != nil {
+		b.Fatal(err)
+	} else if _, err := j.Wait(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+
+	jobs := make(chan struct{}, submitters)
+	done := make(chan error, submitters)
+	for w := 0; w < submitters; w++ {
+		go func() {
+			for range jobs {
+				j, err := eng.Submit(context.Background(), dup)
+				if err == nil {
+					_, err = j.Wait(context.Background())
+				}
+				done <- err
+			}
+		}()
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	go func() {
+		for i := 0; i < b.N; i++ {
+			jobs <- struct{}{}
+		}
+		close(jobs)
+	}()
+	for i := 0; i < b.N; i++ {
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubmitDedupOff1(b *testing.B)   { benchmarkSubmitDedup(b, 1) }
+func BenchmarkSubmitDedupOn1(b *testing.B)    { benchmarkSubmitDedup(b, 1, WithDedupExtensions(true)) }
+func BenchmarkSubmitDedupCache1(b *testing.B) { benchmarkSubmitDedup(b, 1, WithResultCache(1<<14)) }
+func BenchmarkSubmitDedupOff4(b *testing.B)   { benchmarkSubmitDedup(b, 4) }
+func BenchmarkSubmitDedupOn4(b *testing.B)    { benchmarkSubmitDedup(b, 4, WithDedupExtensions(true)) }
+func BenchmarkSubmitDedupCache4(b *testing.B) { benchmarkSubmitDedup(b, 4, WithResultCache(1<<14)) }
+
+// TestSubmitDedupThroughputGain is the non-flaky acceptance proxy for the
+// BenchmarkSubmitDedup* rows: on the same 4×-duplicated workload, dedup
+// must cut the modeled device work to a quarter and a warm cache must cut
+// the executed batches to zero — the structural facts behind the ≥ 2×
+// host-throughput win the benchmarks measure.
+func TestSubmitDedupThroughputGain(t *testing.T) {
+	base := cacheTestDataset(31)
+	dup := &workload.Dataset{Name: base.Name, Sequences: base.Sequences, Protein: base.Protein}
+	for i := 0; i < 4; i++ {
+		dup.Comparisons = append(dup.Comparisons, base.Comparisons...)
+	}
+
+	run := func(opts ...Option) *driver.Report {
+		eng := New(append([]Option{WithDriverConfig(cacheTestConfig())}, opts...)...)
+		defer eng.Close()
+		var rep *driver.Report
+		for i := 0; i < 2; i++ { // second submission warms the cache mode
+			j, err := eng.Submit(context.Background(), dup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep, err = j.Wait(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rep
+	}
+
+	off := run()
+	on := run(WithDedupExtensions(true))
+	cached := run(WithResultCache(1 << 14))
+
+	// Host throughput scales with executed DP cells (each duplicate is a
+	// real re-extension on the host); modeled superstep time does not
+	// shrink here because duplicates ran on parallel tiles.
+	if on.Cells*4 != off.Cells {
+		t.Errorf("dedup executed %d cells, want a quarter of %d", on.Cells, off.Cells)
+	}
+	if on.TheoreticalCells*4 != off.TheoreticalCells {
+		t.Errorf("dedup theoretical %d, want a quarter of %d", on.TheoreticalCells, off.TheoreticalCells)
+	}
+	if cached.Batches != 0 || cached.Cells != 0 {
+		t.Errorf("warm cached job executed %d batches, %d cells", cached.Batches, cached.Cells)
+	}
+	for i := range off.Results {
+		if on.Results[i] != off.Results[i] || cached.Results[i] != off.Results[i] {
+			t.Fatalf("result %d differs across modes", i)
+		}
+	}
+}

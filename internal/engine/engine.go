@@ -42,9 +42,11 @@ const DefaultQueueDepth = 16
 // Engine is a persistent asynchronous alignment service over the modeled
 // device fleet.
 type Engine struct {
-	cfg        driver.Config
-	queueDepth int
-	executors  int
+	cfg          driver.Config
+	queueDepth   int
+	executors    int
+	cacheEntries int
+	cache        *resultCache
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -99,6 +101,30 @@ func WithBatchOverhead(sec float64) Option {
 	return func(e *Engine) { e.cfg.BatchOverheadSeconds = sec }
 }
 
+// WithDedupExtensions toggles duplicate-extension elimination: every
+// submission's byte-identical (pair, seed) extensions are aligned once
+// and fanned back out, so reports stay per-comparison while modeled work
+// drops. Off by default; per-comparison alignments are identical either
+// way.
+func WithDedupExtensions(on bool) Option { return func(e *Engine) { e.cfg.DedupExtensions = on } }
+
+// WithResultCache attaches a bounded, sharded LRU result cache shared by
+// every job the engine serves, keyed by (extension key, kernel-config
+// fingerprint): byte-identical extensions submitted by any client — same
+// job or a later one, regardless of pool numbering — are aligned once.
+// entries bounds the cache (0 → DefaultResultCacheEntries). Enabling the
+// cache also enables duplicate-extension elimination, which the cache
+// keys ride on. Hit/miss/evict counters surface in Stats.
+func WithResultCache(entries int) Option {
+	return func(e *Engine) {
+		if entries <= 0 {
+			entries = DefaultResultCacheEntries
+		}
+		e.cacheEntries = entries
+		e.cfg.DedupExtensions = true
+	}
+}
+
 // WithQueueDepth bounds in-flight submissions; Submit blocks (or fails
 // on context cancellation) once the queue is full.
 func WithQueueDepth(n int) Option { return func(e *Engine) { e.queueDepth = n } }
@@ -114,6 +140,12 @@ func New(opts ...Option) *Engine {
 		o(e)
 	}
 	e.normalize()
+	if e.cacheEntries > 0 {
+		// Keys carry the driver's kernel-config fingerprint, so even a
+		// cache handed to differently-configured runs stays sound.
+		e.cache = newResultCache(e.cacheEntries)
+		e.cfg.Cache = e.cache
+	}
 	e.cond = sync.NewCond(&e.mu)
 	e.closedCh = make(chan struct{})
 	e.slots = make(chan struct{}, e.queueDepth)
@@ -147,18 +179,27 @@ type Stats struct {
 	CellsDone int64
 	// JobsLive counts admitted, unfinished submissions.
 	JobsLive int
+	// CacheHits, CacheMisses and CacheEvictions count result-cache
+	// activity across all jobs (all zero without WithResultCache).
+	CacheHits, CacheMisses, CacheEvictions int64
 }
 
 // Stats returns engine-lifetime counters.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return Stats{
+	st := Stats{
 		JobsDone:    e.doneJobs,
 		BatchesDone: e.doneBatches,
 		CellsDone:   e.doneCells,
 		JobsLive:    e.live,
 	}
+	e.mu.Unlock()
+	if e.cache != nil {
+		st.CacheHits = e.cache.hits.Load()
+		st.CacheMisses = e.cache.misses.Load()
+		st.CacheEvictions = e.cache.evictions.Load()
+	}
+	return st
 }
 
 // Submit enqueues a dataset for alignment and returns immediately with a
@@ -235,6 +276,16 @@ func (e *Engine) runJob(j *Job) {
 	defer e.wgJobs.Done()
 	bp, err := driver.BuildBatches(j.ctx, j.dataset, e.cfg)
 
+	// The fan-out index and cached-results view are O(comparisons);
+	// build them outside the engine lock, like BuildBatches itself, so a
+	// large dedup-heavy submission cannot stall executors or Submits.
+	var expand func([]ipukernel.AlignOut) []ipukernel.AlignOut
+	var cachedResults []ipukernel.AlignOut
+	if err == nil {
+		expand = bp.ResultExpander()
+		cachedResults = bp.CachedResults()
+	}
+
 	// Until the job is registered below, runJob is the only goroutine
 	// that can settle it, so no finished re-check is needed here.
 	e.mu.Lock()
@@ -245,6 +296,8 @@ func (e *Engine) runJob(j *Job) {
 	}
 	j.bp = bp
 	j.outs = make([]*ipukernel.BatchResult, bp.Batches())
+	j.expand = expand
+	j.cachedResults = cachedResults
 	close(j.built)
 	if bp.Batches() == 0 {
 		e.mu.Unlock()
@@ -436,28 +489,44 @@ func (e *Engine) complete(j *Job, bp *driver.BatchPlan) {
 }
 
 // streamUpdate builds the streamed view of batch bi. The results are
-// copied: AssemblePlan reads the same slice later, and a consumer
-// mutating its stream must not corrupt the final report. The copy
-// happens only for jobs whose consumer opened the stream — the
-// channel's capacity is the batch count, so sends never block an
+// copied (and, under dedup, fanned out to per-comparison space so the
+// Update contract holds): AssemblePlan reads the raw slice later, and a
+// consumer mutating its stream must not corrupt the final report. The
+// copy happens only for jobs whose consumer opened the stream — the
+// channel's capacity covers the whole schedule, so sends never block an
 // executor even if the consumer stops reading.
 func streamUpdate(j *Job, bi int, out *ipukernel.BatchResult) Update {
+	var results []ipukernel.AlignOut
+	if j.expand != nil {
+		results = j.expand(out.Out) // fresh slice: fan-out never aliases out.Out
+	} else {
+		results = append([]ipukernel.AlignOut(nil), out.Out...)
+	}
 	return Update{
 		Batch:   bi,
 		Batches: len(j.outs),
-		Results: append([]ipukernel.AlignOut(nil), out.Out...),
+		Results: results,
 		Seconds: out.Seconds,
 	}
 }
 
 // openStreamLocked creates the job's update channel on first demand and
 // replays already-delivered batches into it, so Results works the same
-// no matter when it is called.
+// no matter when it is called. Results the build served from the result
+// cache lead the stream as a Batch == -1 update — they belong to no
+// executed batch but the stream must still carry every comparison.
 func (j *Job) openStreamLocked() {
 	if j.updates != nil {
 		return
 	}
-	j.updates = make(chan Update, len(j.outs))
+	depth := len(j.outs)
+	if j.cachedResults != nil {
+		depth++
+	}
+	j.updates = make(chan Update, depth)
+	if j.cachedResults != nil {
+		j.updates <- Update{Batch: -1, Batches: len(j.outs), Results: j.cachedResults}
+	}
 	for bi, out := range j.outs {
 		if out != nil {
 			j.updates <- streamUpdate(j, bi, out)

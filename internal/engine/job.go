@@ -19,6 +19,15 @@ type Job struct {
 	built  chan struct{} // closed once the plan is built and the stream exists
 	doneCh chan struct{} // closed once the job settles
 
+	// expand maps a batch's raw results into per-comparison space when
+	// the plan was built with dedup (nil otherwise); cachedResults holds
+	// the per-comparison results the build served from the result cache.
+	// Both are set before built closes and immutable afterwards, and
+	// outlive bp so late-opened streams replay correctly after the plan
+	// is released.
+	expand        func([]ipukernel.AlignOut) []ipukernel.AlignOut
+	cachedResults []ipukernel.AlignOut
+
 	// All fields below are guarded by eng.mu.
 	bp        *driver.BatchPlan
 	updates   chan Update
@@ -34,12 +43,18 @@ type Job struct {
 // Update is one executed batch of a job, streamed in completion order.
 type Update struct {
 	// Batch is the batch's index in the job's schedule; Batches is the
-	// schedule's total, so consumers can track progress.
+	// schedule's total, so consumers can track progress. Batch is -1 for
+	// the up-front update carrying results the engine's result cache
+	// served without executing anything (WithResultCache).
 	Batch, Batches int
 	// Results holds the batch's comparison results; GlobalID indexes the
-	// submitted dataset's comparison list.
+	// submitted dataset's comparison list. With dedup enabled a batch
+	// executes unique extensions only, but the stream still carries one
+	// entry per submitted comparison: duplicates arrive alongside their
+	// representative, bit-identical except for GlobalID.
 	Results []ipukernel.AlignOut
-	// Seconds is the batch's modeled on-device compute time.
+	// Seconds is the batch's modeled on-device compute time (0 for the
+	// cache-served update).
 	Seconds float64
 }
 
@@ -72,7 +87,10 @@ func (j *Job) Wait(ctx context.Context) (*driver.Report, error) {
 
 // Results streams the job's batches as they complete; batches executed
 // before the first Results call are replayed into the stream, so it is
-// complete whenever it is opened. The channel is buffered for the whole
+// complete whenever it is opened: across all updates every submitted
+// comparison appears exactly once (dedup'd duplicates stream alongside
+// their representative; cache-served results lead as a Batch == -1
+// update). The channel is buffered for the whole
 // schedule — executors never block on a slow consumer — and is closed
 // when the job settles, so ranging over it terminates; check Err
 // afterwards to distinguish completion from cancellation. Results blocks

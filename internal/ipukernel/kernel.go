@@ -34,6 +34,12 @@ type SeedJob struct {
 	SeedH, SeedV, SeedLen int
 	// GlobalID identifies the comparison in the submitting dataset.
 	GlobalID int
+	// Fanout is the number of planned comparisons this job represents
+	// after duplicate-extension elimination (0 or 1 = itself only). It is
+	// host bookkeeping for skipped-work accounting — the device tuple
+	// (JobTupleBytes) does not ship it, because fan-out happens on the
+	// host when results are assembled.
+	Fanout int
 }
 
 // TileWork is the per-tile input of Fig. 4: the sequence set ω_i plus the
@@ -166,10 +172,20 @@ type Config struct {
 	Parallelism int
 }
 
-func (c Config) withDefaults(m platform.IPUModel) Config {
+// EffectiveThreads resolves the configured thread count against a model:
+// zero or out-of-range selects the model's hardware thread count. This is
+// the single clamp the kernel executes with — cache-key fingerprints must
+// use it too, so configurations that resolve to the same schedule share
+// entries and ones that differ never alias.
+func (c Config) EffectiveThreads(m platform.IPUModel) int {
 	if c.Threads <= 0 || c.Threads > m.ThreadsPerTile {
-		c.Threads = m.ThreadsPerTile
+		return m.ThreadsPerTile
 	}
+	return c.Threads
+}
+
+func (c Config) withDefaults(m platform.IPUModel) Config {
+	c.Threads = c.EffectiveThreads(m)
 	if c.Cost == (platform.KernelCost{}) {
 		c.Cost = platform.DefaultKernelCost
 	}
@@ -268,6 +284,12 @@ type BatchResult struct {
 	// SumBand and Antidiags support mean-band reporting.
 	SumBand   int64
 	Antidiags int64
+	// DedupSkippedCells counts theoretical cells of duplicate comparisons
+	// that this batch's jobs represent (SeedJob.Fanout) but that dedup
+	// kept off the device; DedupSkippedJobs counts those comparisons.
+	// Zero unless the driver planned with duplicate-extension elimination.
+	DedupSkippedCells int64
+	DedupSkippedJobs  int
 }
 
 // GCUPSDenominatorSeconds returns on-device compute seconds — the time
@@ -296,15 +318,17 @@ func Run(dev *ipu.Device, b *Batch, cfg Config) (*BatchResult, error) {
 	res.Out = make([]AlignOut, total)
 
 	type tileStats struct {
-		instr    int64
-		sram     int
-		races    int
-		steals   int
-		cells    int64
-		theo     int64
-		sumBand  int64
-		antidiag int64
-		err      error
+		instr        int64
+		sram         int
+		races        int
+		steals       int
+		cells        int64
+		theo         int64
+		sumBand      int64
+		antidiag     int64
+		skippedCells int64
+		skippedJobs  int
+		err          error
 	}
 	stats := make([]tileStats, len(b.Tiles))
 
@@ -351,6 +375,8 @@ func Run(dev *ipu.Device, b *Batch, cfg Config) (*BatchResult, error) {
 				st.theo = tr.theo
 				st.sumBand = tr.sumBand
 				st.antidiag = tr.antidiag
+				st.skippedCells = tr.skippedCells
+				st.skippedJobs = tr.skippedJobs
 			}
 		}()
 	}
@@ -370,6 +396,8 @@ func Run(dev *ipu.Device, b *Batch, cfg Config) (*BatchResult, error) {
 		res.TheoreticalCells += st.theo
 		res.SumBand += st.sumBand
 		res.Antidiags += st.antidiag
+		res.DedupSkippedCells += st.skippedCells
+		res.DedupSkippedJobs += st.skippedJobs
 		if st.sram > maxSRAM {
 			maxSRAM = st.sram
 		}

@@ -20,13 +20,15 @@ const (
 )
 
 type tileResult struct {
-	maxInstr int64
-	races    int
-	steals   int
-	cells    int64
-	theo     int64
-	sumBand  int64
-	antidiag int64
+	maxInstr     int64
+	races        int
+	steals       int
+	cells        int64
+	theo         int64
+	sumBand      int64
+	antidiag     int64
+	skippedCells int64
+	skippedJobs  int
 }
 
 // executor is a pool worker's reusable tile-execution state: one DP
@@ -169,7 +171,10 @@ func runTile(t *TileWork, cfg Config, ex *executor, out []AlignOut) tileResult {
 
 	// Combine extension results (seed score bridged between them) and
 	// account theoretical cells once per comparison — duplicated racy
-	// executions must not inflate the GCUPS numerator (§5.1).
+	// executions must not inflate the GCUPS numerator (§5.1). A job with
+	// Fanout > 1 stands for that many byte-identical planned comparisons;
+	// the duplicates' work never reaches the device, so it is accounted
+	// separately as skipped rather than folded into the executed traces.
 	for j := range t.Jobs {
 		job := &t.Jobs[j]
 		h, v := t.Seq(job.HLocal), t.Seq(job.VLocal)
@@ -177,6 +182,10 @@ func runTile(t *TileWork, cfg Config, ex *executor, out []AlignOut) tileResult {
 		o := &out[j]
 		o.Score = o.LeftScore + core.SeedScore(h, v, seed, cfg.Params) + o.RightScore
 		tr.theo += int64(len(h)) * int64(len(v))
+		if f := job.Fanout; f > 1 {
+			tr.skippedCells += int64(f-1) * int64(len(h)) * int64(len(v))
+			tr.skippedJobs += f - 1
+		}
 	}
 	return tr
 }

@@ -176,6 +176,16 @@ func Ratio(v float64) string {
 	return fmt.Sprintf("%.2f×", v)
 }
 
+// HitRate returns hits/(hits+misses) in [0,1], 0 when no lookups
+// happened — the cache and dedup reporting helper shared by the engine
+// stats surfaces and cmd/benchtables.
+func HitRate(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
 // Percent renders a percentage like "−52.0%".
 func Percent(v float64) string {
 	return fmt.Sprintf("%.1f%%", v)

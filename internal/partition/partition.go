@@ -163,10 +163,18 @@ func BuildItems(d *workload.Dataset, opt Options) []Item {
 					}
 					// Leave the edge for a later partition rooted
 					// nearby; close the full partition and restart
-					// the walk from this vertex.
+					// the walk from this vertex, preserving the
+					// pending frontier: vertices discovered earlier
+					// in the walk keep their queue slots, so their
+					// unassigned edges extend the next partition
+					// instead of falling through to the reuse-blind
+					// mop-up sweep once their seed turns have passed.
 					if len(cur.Cmps) > 0 {
 						flush()
-						queue = append(queue[:0], u)
+						pending := queue[qi+1:]
+						copy(queue[1:1+len(pending)], pending)
+						queue[0] = u
+						queue = queue[:1+len(pending)]
 						qi = 0
 					}
 					continue
@@ -175,6 +183,13 @@ func BuildItems(d *workload.Dataset, opt Options) []Item {
 				wasV := inPart[c.V] == stamp
 				addSeq(c.H)
 				addSeq(c.V)
+				// A vertex preserved across a flush may be re-appended
+				// when a new-partition edge rediscovers it (its stamp
+				// reset with the flush); the extra adjacency scan is
+				// redundant-but-correct (assigned[] filters it) and
+				// bounded by one slot per discovery, which keeps the
+				// walk's grouping — and the pinned golden schedules —
+				// unchanged.
 				if !wasH && c.H != u {
 					queue = append(queue, c.H)
 				}
@@ -318,7 +333,7 @@ func cmpMaxMin(refs []workload.SeqRef, c workload.Comparison) int {
 	return max(min(c.SeedH, c.SeedV), min(rh, rv))
 }
 
-func (tb *tileBuilder) add(refs []workload.SeqRef, plan *workload.Plan, it *Item) {
+func (tb *tileBuilder) add(refs []workload.SeqRef, plan *workload.Plan, it *Item, fanout []int32) {
 	for _, s := range it.Seqs {
 		if _, ok := tb.localIdx[s]; !ok || it.Copies {
 			tb.localIdx[s] = len(tb.work.Seqs)
@@ -328,12 +343,16 @@ func (tb *tileBuilder) add(refs []workload.SeqRef, plan *workload.Plan, it *Item
 	}
 	for _, ci := range it.Cmps {
 		c := plan.At(ci)
-		tb.work.Jobs = append(tb.work.Jobs, ipukernel.SeedJob{
+		job := ipukernel.SeedJob{
 			HLocal: tb.localIdx[c.H],
 			VLocal: tb.localIdx[c.V],
 			SeedH:  c.SeedH, SeedV: c.SeedV, SeedLen: c.SeedLen,
 			GlobalID: ci,
-		})
+		}
+		if fanout != nil {
+			job.Fanout = int(fanout[ci])
+		}
+		tb.work.Jobs = append(tb.work.Jobs, job)
 		if mm := cmpMaxMin(refs, c); mm > tb.maxMin {
 			tb.maxMin = mm
 		}
@@ -353,6 +372,15 @@ func MakeBatches(d *workload.Dataset, items []Item, tiles int, cfg ipukernel.Con
 // cap). Finer batches keep the multi-IPU work queue deep enough for the
 // driver to scale and prefetch (§4.4).
 func MakeBatchesLimit(d *workload.Dataset, items []Item, tiles int, cfg ipukernel.Config, model platform.IPUModel, maxJobs int) ([]*ipukernel.Batch, error) {
+	return MakeBatchesFanout(d, items, tiles, cfg, model, maxJobs, nil)
+}
+
+// MakeBatchesFanout is MakeBatchesLimit with per-comparison fan-out
+// counts: fanout[ci] is the number of planned comparisons that comparison
+// ci represents after duplicate-extension elimination (nil = every
+// comparison stands for itself). The counts ride along on the tile jobs
+// so the kernel can account the work dedup skipped.
+func MakeBatchesFanout(d *workload.Dataset, items []Item, tiles int, cfg ipukernel.Config, model platform.IPUModel, maxJobs int, fanout []int32) ([]*ipukernel.Batch, error) {
 	if tiles <= 0 {
 		return nil, fmt.Errorf("partition: tiles must be positive")
 	}
@@ -419,7 +447,7 @@ func MakeBatchesLimit(d *workload.Dataset, items []Item, tiles int, cfg ipukerne
 				}
 			}
 			if best >= 0 {
-				builders[best].add(refs, plan, it)
+				builders[best].add(refs, plan, it, fanout)
 				batchJobs += len(it.Cmps)
 				placed = true
 				break

@@ -308,6 +308,46 @@ func TestBuildItemsCoverageFuzz(t *testing.T) {
 	}
 }
 
+// TestBuildItemsFrontierPreservedAcrossFlush pins the boundary-restart
+// fix: closing a full partition used to reset the walk queue to just the
+// current vertex (`queue = append(queue[:0], u)`), discarding frontier
+// vertices discovered earlier. Their unassigned edges could only
+// resurface when those vertices' own seed turns came — or, if those had
+// already passed, in the reuse-blind mop-up sweep — fragmenting
+// partitions on dense graphs. This workload (found by searching random
+// graphs against the old walk) yielded ReuseFactor 2.81 before the fix
+// and 3.48 with the frontier preserved; the threshold sits between the
+// two so a regression to the old restart fails loudly.
+func TestBuildItemsFrontierPreservedAcrossFlush(t *testing.T) {
+	rng := rand.New(rand.NewSource(796))
+	n := 12 + rng.Intn(30)
+	d := &workload.Dataset{}
+	for i := 0; i < n; i++ {
+		d.Sequences = append(d.Sequences, make([]byte, 200+rng.Intn(600)))
+	}
+	m := 30 + rng.Intn(120)
+	for i := 0; i < m; i++ {
+		h, v := rng.Intn(n), rng.Intn(n)
+		if h == v {
+			continue
+		}
+		d.Comparisons = append(d.Comparisons, workload.Comparison{
+			H: h, V: v, SeedH: 10, SeedV: 10, SeedLen: 17,
+		})
+	}
+	budget := 1000 + rng.Intn(2500)
+	items := BuildItems(d, Options{SeqBudget: budget, Reuse: true})
+	coverage(t, d, items)
+	if rf := ReuseFactor(d, items); rf < 3.0 {
+		t.Errorf("ReuseFactor = %.3f, want ≥ 3.0 (old frontier-discarding walk scored 2.81)", rf)
+	}
+	for _, it := range items {
+		if it.Bytes > budget && len(it.Cmps) > 1 {
+			t.Errorf("multi-comparison item exceeds budget: %d B", it.Bytes)
+		}
+	}
+}
+
 func TestDeriveSeqBudget(t *testing.T) {
 	// 25 kb reads: the unrestricted variants cannot fit tile SRAM at all
 	// (the paper's headline constraint), the restricted one can.

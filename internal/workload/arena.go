@@ -40,6 +40,10 @@ const MaxSlabBytes = 1<<31 - 1
 type Arena struct {
 	slab []byte
 	refs []SeqRef
+	// digests holds each sequence's 128-bit content fingerprint (interned
+	// duplicates copy their canonical's), the content-addressed identity
+	// behind ExtensionKey and the cross-job result cache.
+	digests []SeqDigest
 	// index maps content hashes to canonical sequence indices (first
 	// appearance of each distinct byte string).
 	index map[uint64][]int32
@@ -51,22 +55,40 @@ type Arena struct {
 // and seqHint sequence slots (either may be 0).
 func NewArena(sizeHint, seqHint int) *Arena {
 	return &Arena{
-		slab:  make([]byte, 0, sizeHint),
-		refs:  make([]SeqRef, 0, seqHint),
-		index: make(map[uint64][]int32, seqHint),
+		slab:    make([]byte, 0, sizeHint),
+		refs:    make([]SeqRef, 0, seqHint),
+		digests: make([]SeqDigest, 0, seqHint),
+		index:   make(map[uint64][]int32, seqHint),
 	}
 }
 
-// hashBytes is FNV-1a 64, inlined so hashing a candidate sequence does not
-// allocate a hash.Hash.
-func hashBytes(s []byte) uint64 {
+// SeqDigest is a 128-bit content fingerprint of a sequence's bytes: two
+// independent 64-bit hashes computed in one pass. Lo doubles as the
+// arena's intern-index key; the pair (plus the explicit length carried by
+// ExtensionKey) identifies sequence content across arenas, which is what
+// lets a result cache recognise byte-identical work from different jobs
+// with different pool numbering.
+type SeqDigest struct {
+	Lo, Hi uint64
+}
+
+// digestBytes computes both fingerprint halves in a single pass: Lo is
+// FNV-1a 64 (the historical intern hash), Hi a multiply-accumulate with
+// an avalanche finaliser. Inlined accumulators, no hash.Hash allocation.
+func digestBytes(s []byte) SeqDigest {
 	const offset64, prime64 = 14695981039346656037, 1099511628211
-	h := uint64(offset64)
+	lo := uint64(offset64)
+	hi := uint64(0x9e3779b97f4a7c15)
 	for _, c := range s {
-		h ^= uint64(c)
-		h *= prime64
+		lo ^= uint64(c)
+		lo *= prime64
+		hi = (hi + uint64(c) + 1) * 0x9e3779b97f4a7c15
 	}
-	return h
+	// splitmix-style finaliser so short sequences still diffuse into Hi.
+	hi ^= hi >> 30
+	hi *= 0xbf58476d1ce4e5b9
+	hi ^= hi >> 27
+	return SeqDigest{Lo: lo, Hi: hi}
 }
 
 // Len returns the number of sequences (pool indices) in the arena. Interned
@@ -82,6 +104,12 @@ func (a *Arena) Seq(i int) []byte {
 
 // Ref returns sequence i's span.
 func (a *Arena) Ref(i int) SeqRef { return a.refs[i] }
+
+// Digest returns sequence i's 128-bit content fingerprint. Interned
+// duplicates share their canonical sequence's digest, so equal digests
+// (at equal length) mean equal bytes across any two arenas up to hash
+// collision — within one arena, equal spans are the exact test.
+func (a *Arena) Digest(i int) SeqDigest { return a.digests[i] }
 
 // Refs returns the span table (shared; callers must not mutate).
 func (a *Arena) Refs() []SeqRef { return a.refs }
@@ -135,9 +163,10 @@ func (a *Arena) lookup(h uint64, s []byte) (int32, bool) {
 // Paths fed by external input (pipelines, FASTA) use this form.
 func (a *Arena) TryAppend(s []byte) (int, error) {
 	idx := len(a.refs)
-	h := hashBytes(s)
-	if ci, ok := a.lookup(h, s); ok {
+	d := digestBytes(s)
+	if ci, ok := a.lookup(d.Lo, s); ok {
 		a.refs = append(a.refs, a.refs[ci])
+		a.digests = append(a.digests, a.digests[ci])
 		a.savedBytes += int64(len(s))
 		return idx, nil
 	}
@@ -147,7 +176,8 @@ func (a *Arena) TryAppend(s []byte) (int, error) {
 	ref := SeqRef{Off: int32(len(a.slab)), Len: int32(len(s))}
 	a.slab = append(a.slab, s...)
 	a.refs = append(a.refs, ref)
-	a.index[h] = append(a.index[h], int32(idx))
+	a.digests = append(a.digests, d)
+	a.index[d.Lo] = append(a.index[d.Lo], int32(idx))
 	return idx, nil
 }
 
@@ -171,19 +201,65 @@ func (a *Arena) Append(s []byte) int {
 // caller keeps its own index mapping (e.g. a pipeline deduplicating reads);
 // use Append when external numbering must be preserved.
 func (a *Arena) Intern(s []byte) int {
-	h := hashBytes(s)
-	if ci, ok := a.lookup(h, s); ok {
+	if ci, ok := a.lookup(digestBytes(s).Lo, s); ok {
 		a.savedBytes += int64(len(s))
 		return int(ci)
 	}
 	return a.Append(s)
 }
 
+// arenaMark snapshots the arena's append state so a failed multi-record
+// ingest can be undone atomically.
+type arenaMark struct {
+	refs, slab int
+	saved      int64
+}
+
+func (a *Arena) mark() arenaMark {
+	return arenaMark{refs: len(a.refs), slab: len(a.slab), saved: a.savedBytes}
+}
+
+// rollback restores the arena to a previous mark: spans, digests and slab
+// bytes appended since are dropped and their intern-index entries removed,
+// so a retry after a failed ingest re-interns nothing twice and mints no
+// phantom indices. Must run before any rolled-back span is shared.
+func (a *Arena) rollback(m arenaMark) {
+	cut := int32(m.refs)
+	for i := len(a.refs) - 1; i >= m.refs; i-- {
+		// Only canonical spans (first appearance of their bytes) live in
+		// the index; scrubbing a bucket is idempotent, so re-visiting the
+		// hash of an interned duplicate is harmless.
+		lo := a.digests[i].Lo
+		bucket := a.index[lo]
+		kept := bucket[:0]
+		for _, ci := range bucket {
+			if ci < cut {
+				kept = append(kept, ci)
+			}
+		}
+		if len(kept) == 0 {
+			delete(a.index, lo)
+		} else {
+			a.index[lo] = kept
+		}
+	}
+	a.refs = a.refs[:m.refs]
+	a.digests = a.digests[:m.refs]
+	a.slab = a.slab[:m.slab]
+	a.savedBytes = m.saved
+}
+
 // AppendFasta parses FASTA records from r, validating against alpha, and
 // packs each record's symbols straight into the slab — no per-record
 // sequence allocation. It returns the record IDs in pool-index order.
 // Oversized inputs (slab past 2 GiB) surface as an error, not a panic.
+//
+// The append is atomic: a mid-stream error (bad record, slab overflow)
+// rolls the arena back to its pre-call state, so no partial record set
+// lands silently and a retry with a corrected stream interns exactly as
+// if the failed call never happened.
 func (a *Arena) AppendFasta(r io.Reader, alpha *seqio.Alphabet) ([]string, error) {
+	m := a.mark()
 	var ids []string
 	err := seqio.ReadFastaFunc(r, alpha, func(id, desc string, seq []byte) error {
 		if _, err := a.TryAppend(seq); err != nil {
@@ -193,6 +269,7 @@ func (a *Arena) AppendFasta(r io.Reader, alpha *seqio.Alphabet) ([]string, error
 		return nil
 	})
 	if err != nil {
+		a.rollback(m)
 		return nil, err
 	}
 	return ids, nil
@@ -236,5 +313,7 @@ func (a *Arena) NewDataset(name string, p *Plan, protein bool) *Dataset {
 	}
 	d.arena, d.plan = a, p
 	d.spineSeqs, d.spineCmps = d.Sequences, d.Comparisons
+	d.seqFP = seqFingerprintOf(d.Sequences)
+	d.cmpFP = cmpFingerprintOf(d.Comparisons)
 	return d
 }

@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mkArena(t *testing.T, seqs ...[]byte) *Arena {
+	t.Helper()
+	a := NewArena(0, len(seqs))
+	for _, s := range seqs {
+		a.Append(s)
+	}
+	return a
+}
+
+func TestDedupPlanCollapsesInternedDuplicates(t *testing.T) {
+	// Indices 0 and 1 are byte-identical (interned), 2 is distinct.
+	a := mkArena(t,
+		[]byte("ACGTACGTACGTACGTACGT"),
+		[]byte("ACGTACGTACGTACGTACGT"),
+		[]byte("TTTTCCCCGGGGAAAATTTT"),
+	)
+	p := PlanOf([]Comparison{
+		{H: 0, V: 2, SeedH: 3, SeedV: 4, SeedLen: 5},
+		{H: 1, V: 2, SeedH: 3, SeedV: 4, SeedLen: 5}, // same bytes, different numbering
+		{H: 0, V: 2, SeedH: 3, SeedV: 4, SeedLen: 5}, // literal duplicate
+		{H: 2, V: 0, SeedH: 4, SeedV: 3, SeedLen: 5}, // mirrored: distinct
+	})
+	m := a.DedupPlan(p)
+	if m.Unique() != 2 {
+		t.Fatalf("Unique = %d, want 2", m.Unique())
+	}
+	if m.Duplicates() != 2 {
+		t.Fatalf("Duplicates = %d, want 2", m.Duplicates())
+	}
+	if m.RowUID[0] != m.RowUID[1] || m.RowUID[0] != m.RowUID[2] {
+		t.Errorf("rows 0..2 should share a unique extension: %v", m.RowUID)
+	}
+	if m.RowUID[3] == m.RowUID[0] {
+		t.Errorf("mirrored (V,H) comparison must not dedup against (H,V)")
+	}
+	if m.Fanout[m.RowUID[0]] != 3 || m.Fanout[m.RowUID[3]] != 1 {
+		t.Errorf("fanout = %v, want [3 1]", m.Fanout)
+	}
+	if m.UniqueRows[m.RowUID[0]] != 0 || m.UniqueRows[m.RowUID[3]] != 3 {
+		t.Errorf("representatives should be first appearances: %v", m.UniqueRows)
+	}
+}
+
+func TestDedupPlanSelfComparisons(t *testing.T) {
+	// 0 and 1 are identical bytes; self-comparisons on each are the same
+	// extension, a self-comparison on distinct bytes is not.
+	a := mkArena(t,
+		[]byte("ACGTACGTACGTACGTACGT"),
+		[]byte("ACGTACGTACGTACGTACGT"),
+		[]byte("TTTTCCCCGGGGAAAATTTT"),
+	)
+	p := PlanOf([]Comparison{
+		{H: 0, V: 0, SeedH: 2, SeedV: 2, SeedLen: 4},
+		{H: 1, V: 1, SeedH: 2, SeedV: 2, SeedLen: 4},
+		{H: 2, V: 2, SeedH: 2, SeedV: 2, SeedLen: 4},
+	})
+	m := a.DedupPlan(p)
+	if m.Unique() != 2 {
+		t.Fatalf("Unique = %d, want 2", m.Unique())
+	}
+	if m.RowUID[0] != m.RowUID[1] {
+		t.Errorf("interned self-comparisons should dedup")
+	}
+	if m.RowUID[2] == m.RowUID[0] {
+		t.Errorf("distinct-content self-comparison wrongly deduped")
+	}
+}
+
+func TestDedupPlanSamePairDifferentSeeds(t *testing.T) {
+	a := mkArena(t, []byte("ACGTACGTACGTACGTACGT"), []byte("TTTTCCCCGGGGAAAATTTT"))
+	p := PlanOf([]Comparison{
+		{H: 0, V: 1, SeedH: 1, SeedV: 1, SeedLen: 4},
+		{H: 0, V: 1, SeedH: 2, SeedV: 1, SeedLen: 4},
+		{H: 0, V: 1, SeedH: 1, SeedV: 1, SeedLen: 5},
+	})
+	m := a.DedupPlan(p)
+	if m.Unique() != 3 {
+		t.Fatalf("identical pairs with different seeds must not dedup: Unique = %d, want 3", m.Unique())
+	}
+}
+
+// TestDedupPlanExactForEqualLengthContent is the hash-collision guard for
+// the in-plan extension-key map: the map is keyed by canonical slab
+// spans, not by any content hash, so two sequences of equal length whose
+// digests hypothetically collided could still never be merged — their
+// spans differ whenever their bytes do.
+func TestDedupPlanExactForEqualLengthContent(t *testing.T) {
+	sA := []byte("AAAACGTACGTACGTAAAAA")
+	sB := []byte("AAAACGTACGTACGTAAAAC") // same length, one byte off
+	a := mkArena(t, sA, sB)
+	if a.Ref(0) == a.Ref(1) {
+		t.Fatal("distinct content interned onto one span")
+	}
+	p := PlanOf([]Comparison{
+		{H: 0, V: 1, SeedH: 1, SeedV: 1, SeedLen: 4},
+		{H: 1, V: 0, SeedH: 1, SeedV: 1, SeedLen: 4},
+		{H: 0, V: 0, SeedH: 1, SeedV: 1, SeedLen: 4},
+		{H: 1, V: 1, SeedH: 1, SeedV: 1, SeedLen: 4},
+	})
+	m := a.DedupPlan(p)
+	if m.Unique() != 4 {
+		t.Fatalf("equal-length distinct content deduped: Unique = %d, want 4", m.Unique())
+	}
+}
+
+func TestExtensionKeyCrossArena(t *testing.T) {
+	sA := []byte("ACGTACGTACGTACGTACGT")
+	sB := []byte("TTTTCCCCGGGGAAAATTTT")
+	sC := []byte("GGGGGGGGCCCCCCCCAAAA")
+
+	// Arena 1: A at index 0, B at 1. Arena 2: padded with C first and B
+	// before A — different numbering, different offsets.
+	a1 := mkArena(t, sA, sB)
+	a2 := mkArena(t, sC, sB, sA)
+
+	k1 := a1.ExtensionKeyOf(Comparison{H: 0, V: 1, SeedH: 3, SeedV: 4, SeedLen: 5})
+	k2 := a2.ExtensionKeyOf(Comparison{H: 2, V: 1, SeedH: 3, SeedV: 4, SeedLen: 5})
+	if k1 != k2 {
+		t.Errorf("same bytes + seed across arenas should produce equal keys:\n%+v\n%+v", k1, k2)
+	}
+
+	// Different sequence content, different seed, or swapped direction
+	// all change the key.
+	if k1 == a2.ExtensionKeyOf(Comparison{H: 0, V: 1, SeedH: 3, SeedV: 4, SeedLen: 5}) {
+		t.Error("different H content produced an equal key")
+	}
+	if k1 == a1.ExtensionKeyOf(Comparison{H: 0, V: 1, SeedH: 4, SeedV: 4, SeedLen: 5}) {
+		t.Error("different seed produced an equal key")
+	}
+	if k1 == a1.ExtensionKeyOf(Comparison{H: 1, V: 0, SeedH: 4, SeedV: 3, SeedLen: 5}) {
+		t.Error("mirrored direction produced an equal key")
+	}
+}
+
+// TestSeqDigestDistinctness is a smoke check that the 128-bit digest
+// separates a corpus of near-identical sequences (single-symbol edits,
+// shared prefixes, varied lengths) — the regime interning and the result
+// cache actually see.
+func TestSeqDigestDistinctness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alpha := []byte("ACGT")
+	seen := make(map[SeqDigest][]byte)
+	check := func(s []byte) {
+		d := digestBytes(s)
+		if prev, ok := seen[d]; ok && string(prev) != string(s) {
+			t.Fatalf("digest collision between %q and %q", prev, s)
+		}
+		seen[d] = append([]byte(nil), s...)
+	}
+	base := make([]byte, 64)
+	for i := range base {
+		base[i] = alpha[rng.Intn(4)]
+	}
+	check(base)
+	for i := range base {
+		for _, c := range alpha {
+			if base[i] == c {
+				continue
+			}
+			mut := append([]byte(nil), base...)
+			mut[i] = c
+			check(mut)
+		}
+	}
+	for n := 0; n < 64; n++ {
+		check(base[:n])
+	}
+}

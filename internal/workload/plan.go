@@ -58,6 +58,17 @@ func (p *Plan) At(i int) Comparison {
 	}
 }
 
+// Select returns a new plan holding rows[i] of p, in order — the
+// sub-plan the driver partitions when dedup reduces execution to the
+// unique-extension representatives.
+func (p *Plan) Select(rows []int32) *Plan {
+	q := NewPlan(len(rows))
+	for _, r := range rows {
+		q.Add(p.At(int(r)))
+	}
+	return q
+}
+
 // Comparisons returns the row-materialised view, built once and cached, so
 // every Dataset view over the same plan shares one []Comparison instead of
 // re-allocating per job. Callers must not mutate the returned slice.

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sram-align/xdropipu/internal/seqio"
+)
+
+// snapshotArena captures the externally observable arena state.
+type arenaSnapshot struct {
+	n, slab int
+	saved   int64
+}
+
+func snapshot(a *Arena) arenaSnapshot {
+	return arenaSnapshot{n: a.Len(), slab: a.SlabBytes(), saved: a.SavedBytes()}
+}
+
+func TestAppendFastaRollbackOnError(t *testing.T) {
+	a := NewArena(0, 4)
+	pre := a.Append([]byte("ACGTACGTACGT"))
+
+	before := snapshot(a)
+	// Two good records land, then a bad symbol aborts the stream.
+	bad := ">r1\nTTTTGGGG\n>r2\nCCCCAAAA\n>r3\nACGTZZZZ\n"
+	ids, err := a.AppendFasta(strings.NewReader(bad), seqio.DNAAlphabet)
+	if err == nil {
+		t.Fatal("invalid record accepted")
+	}
+	if ids != nil {
+		t.Fatalf("failed append returned ids %v", ids)
+	}
+	if got := snapshot(a); got != before {
+		t.Fatalf("failed append left partial state: %+v, want %+v", got, before)
+	}
+
+	// Retry with the stream fixed. The records must intern exactly as if
+	// the failed call never happened: r1/r2 appear once, a record equal
+	// to the pre-existing pool sequence shares its span, and re-appending
+	// r1's bytes afterwards interns against the retried copy (no stale or
+	// duplicated index entries from the rolled-back call).
+	good := ">r1\nTTTTGGGG\n>r2\nCCCCAAAA\n>r3\nACGTACGTACGT\n"
+	ids, err = a.AppendFasta(strings.NewReader(good), seqio.DNAAlphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("retry appended %d records, want 3", len(ids))
+	}
+	if a.Len() != 4 {
+		t.Fatalf("pool has %d sequences, want 4", a.Len())
+	}
+	if string(a.Seq(1)) != "TTTTGGGG" || string(a.Seq(2)) != "CCCCAAAA" {
+		t.Fatalf("retried records corrupt: %q %q", a.Seq(1), a.Seq(2))
+	}
+	if a.Ref(3) != a.Ref(pre) {
+		t.Errorf("record equal to pre-existing sequence did not intern")
+	}
+	slabAfterRetry := a.SlabBytes()
+	if i := a.Append([]byte("TTTTGGGG")); a.Ref(i) != a.Ref(1) {
+		t.Errorf("re-append after rollback minted a new span (double-intern)")
+	}
+	if a.SlabBytes() != slabAfterRetry {
+		t.Errorf("re-append after rollback grew the slab: %d -> %d", slabAfterRetry, a.SlabBytes())
+	}
+}
+
+func TestAppendFastaRollbackPreservesPreexistingInterning(t *testing.T) {
+	a := NewArena(0, 2)
+	a.Append([]byte("ACGTACGT"))
+
+	// The failing stream interns a duplicate of the pre-existing sequence
+	// before hitting the bad record; rollback must not scrub the
+	// pre-existing index entry while undoing the duplicate.
+	bad := ">dup\nACGTACGT\n>bad\nNOPE!\n"
+	if _, err := a.AppendFasta(strings.NewReader(bad), seqio.DNAAlphabet); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+	if a.Len() != 1 || a.SavedBytes() != 0 {
+		t.Fatalf("rollback left state: len %d saved %d", a.Len(), a.SavedBytes())
+	}
+	if i := a.Append([]byte("ACGTACGT")); a.Ref(i) != a.Ref(0) {
+		t.Errorf("pre-existing sequence no longer interns after rollback")
+	}
+}
+
+func TestValidateCatchesInPlaceComparisonMutation(t *testing.T) {
+	d := &Dataset{
+		Sequences: [][]byte{[]byte("ACGTACGTACGTACGTACGT"), []byte("TTTTCCCCGGGGAAAATTTT")},
+		Comparisons: []Comparison{
+			{H: 0, V: 1, SeedH: 2, SeedV: 2, SeedLen: 4},
+		},
+	}
+	_, plan := d.Spine()
+	if got := plan.At(0).SeedH; got != 2 {
+		t.Fatalf("spine SeedH = %d", got)
+	}
+
+	// In-place mutation: slice identity unchanged, previously served
+	// stale results silently.
+	d.Comparisons[0].SeedH = 5
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, plan = d.Spine(); plan.At(0).SeedH != 5 {
+		t.Errorf("Validate did not refresh the stale plan: SeedH = %d, want 5", plan.At(0).SeedH)
+	}
+}
+
+func TestValidateCatchesInPlaceSequenceMutation(t *testing.T) {
+	d := &Dataset{
+		Sequences: [][]byte{[]byte("ACGTACGTACGTACGTACGT"), []byte("TTTTCCCCGGGGAAAATTTT")},
+		Comparisons: []Comparison{
+			{H: 0, V: 1, SeedH: 2, SeedV: 2, SeedLen: 4},
+		},
+	}
+	arena, _ := d.Spine()
+	if arena.Seq(0)[0] != 'A' {
+		t.Fatal("unexpected spine content")
+	}
+
+	d.Sequences[0][0] = 'G' // first-element probe catches boundary edits
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	arena, _ = d.Spine()
+	if arena.Seq(0)[0] != 'G' {
+		t.Errorf("Validate did not refresh the stale arena: %q", arena.Seq(0))
+	}
+}
+
+func TestInvalidateForcesRebuild(t *testing.T) {
+	d := &Dataset{
+		Sequences: [][]byte{[]byte("ACGTACGTACGTACGTACGT"), []byte("TTTTCCCCGGGGAAAATTTT")},
+		Comparisons: []Comparison{
+			{H: 0, V: 1, SeedH: 2, SeedV: 2, SeedLen: 4},
+			{H: 0, V: 1, SeedH: 3, SeedV: 3, SeedLen: 4},
+			{H: 0, V: 1, SeedH: 4, SeedV: 4, SeedLen: 4},
+		},
+	}
+	arenaBefore, planBefore := d.Spine()
+
+	// An interior edit is invisible to the O(1) fingerprint (only
+	// boundary rows are probed) — the documented limit of the recheck —
+	// so the spine legitimately stays cached...
+	d.Comparisons[1].SeedH = 9
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, plan := d.Spine(); plan != planBefore {
+		t.Skip("interior edit unexpectedly caught; fingerprint got stronger")
+	}
+
+	// ...until the producer declares the mutation explicitly.
+	d.Invalidate()
+	arena, plan := d.Spine()
+	if plan == planBefore || arena == arenaBefore {
+		t.Fatal("Invalidate did not drop the cached spine")
+	}
+	if got := plan.At(1).SeedH; got != 9 {
+		t.Errorf("rebuilt plan SeedH = %d, want 9", got)
+	}
+}

@@ -53,6 +53,57 @@ type Dataset struct {
 	// count) is detected and the stale half rebuilt.
 	spineSeqs [][]byte
 	spineCmps []Comparison
+	// seqFP/cmpFP are cheap content fingerprints of the slices the spine
+	// was built from (lengths plus first/last elements). In-place edits
+	// keep slice identity, so sameSlice alone cannot see them; Validate
+	// rechecks these and rebuilds the touched half instead of silently
+	// serving a stale spine.
+	seqFP seqFingerprint
+	cmpFP cmpFingerprint
+}
+
+// seqFingerprint is the O(1) staleness probe over a sequence pool: the
+// slice length plus the length and boundary bytes of the first and last
+// sequences. It cannot see every in-place edit (that would cost a full
+// hash per Validate), but it catches the common corruption patterns —
+// overwriting the pool front-to-back, or truncate-and-refill within the
+// same backing array — that used to yield silently wrong results.
+type seqFingerprint struct {
+	n                    int
+	firstLen, lastLen    int
+	firstHead, firstTail byte
+	lastHead, lastTail   byte
+}
+
+func seqFingerprintOf(seqs [][]byte) seqFingerprint {
+	fp := seqFingerprint{n: len(seqs)}
+	if fp.n == 0 {
+		return fp
+	}
+	probe := func(s []byte) (n int, head, tail byte) {
+		if len(s) == 0 {
+			return 0, 0, 0
+		}
+		return len(s), s[0], s[len(s)-1]
+	}
+	fp.firstLen, fp.firstHead, fp.firstTail = probe(seqs[0])
+	fp.lastLen, fp.lastHead, fp.lastTail = probe(seqs[fp.n-1])
+	return fp
+}
+
+// cmpFingerprint is the comparison-side staleness probe: length plus the
+// first and last rows by value.
+type cmpFingerprint struct {
+	n           int
+	first, last Comparison
+}
+
+func cmpFingerprintOf(cmps []Comparison) cmpFingerprint {
+	fp := cmpFingerprint{n: len(cmps)}
+	if fp.n > 0 {
+		fp.first, fp.last = cmps[0], cmps[fp.n-1]
+	}
+	return fp
 }
 
 // sameSlice reports whether two slices share length and backing array —
@@ -81,6 +132,10 @@ func sameSlice[T any](a, b []T) bool {
 func (d *Dataset) Spine() (*Arena, *Plan) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.spineLocked()
+}
+
+func (d *Dataset) spineLocked() (*Arena, *Plan) {
 	if d.arena == nil || !sameSlice(d.spineSeqs, d.Sequences) {
 		a := NewArena(int(d.TotalSeqBytes()), len(d.Sequences))
 		for _, s := range d.Sequences {
@@ -88,12 +143,28 @@ func (d *Dataset) Spine() (*Arena, *Plan) {
 		}
 		d.arena = a
 		d.spineSeqs = d.Sequences
+		d.seqFP = seqFingerprintOf(d.Sequences)
 	}
 	if d.plan == nil || !sameSlice(d.spineCmps, d.Comparisons) {
 		d.plan = PlanOf(d.Comparisons)
 		d.spineCmps = d.Comparisons
+		d.cmpFP = cmpFingerprintOf(d.Comparisons)
 	}
 	return d.arena, d.plan
+}
+
+// Invalidate drops the cached spine, forcing the next Spine (or Validate)
+// to rebuild it from the current Sequences and Comparisons. It is the
+// explicit escape hatch for producers that must mutate a dataset in place
+// after the execution stack has already seen it — in-place edits keep
+// slice identity, so without this call (or a fingerprint hit in Validate)
+// the stale spine would keep serving the old bytes.
+func (d *Dataset) Invalidate() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.arena, d.plan = nil, nil
+	d.spineSeqs, d.spineCmps = nil, nil
+	d.seqFP, d.cmpFP = seqFingerprint{}, cmpFingerprint{}
 }
 
 // Clone returns a deep copy of the dataset: every sequence in a private
@@ -130,8 +201,25 @@ func (d *Dataset) TotalSeqBytes() int64 {
 // the driver calls it once per submission on every entry path, so layers
 // below (partition, kernel) index and build the spine without
 // re-checking.
+//
+// Validate also rechecks the spine's staleness fingerprints: a producer
+// that mutated Sequences or Comparisons in place (undetectable by slice
+// identity) is caught here and the touched half of the spine dropped, so
+// the next Spine call rebuilds from the current data instead of silently
+// serving the old bytes. Edits the O(1) fingerprint cannot see remain the
+// caller's responsibility — call Invalidate after any in-place mutation.
 func (d *Dataset) Validate() error {
 	d.mu.Lock()
+	if d.arena != nil && sameSlice(d.spineSeqs, d.Sequences) &&
+		d.seqFP != seqFingerprintOf(d.Sequences) {
+		d.arena = nil
+		d.spineSeqs = nil
+	}
+	if d.plan != nil && sameSlice(d.spineCmps, d.Comparisons) &&
+		d.cmpFP != cmpFingerprintOf(d.Comparisons) {
+		d.plan = nil
+		d.spineCmps = nil
+	}
 	// Only a spine built from the current pool proves the pool fits (at
 	// append time; interning may legitimately make the logical sum exceed
 	// the physical slab). A replaced Sequences slice will be re-packed by

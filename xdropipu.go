@@ -97,6 +97,18 @@ type (
 	SeqRef = workload.SeqRef
 	// CmpPlan is the columnar (struct-of-arrays) comparison table.
 	CmpPlan = workload.Plan
+	// ExtensionKey is the content-addressed identity of one seed
+	// extension (sequence digests, lengths, seed geometry), equal across
+	// jobs whenever the bytes and seed match.
+	ExtensionKey = workload.ExtensionKey
+	// ResultCacheKey is the full result-cache key: an ExtensionKey plus
+	// the kernel-configuration fingerprint, so one cache shared across
+	// differently-configured runs can never serve wrong alignments.
+	ResultCacheKey = driver.CacheKey
+	// ResultCache memoises finished extensions across jobs; implement it
+	// to plug a custom cache into IPUConfig.Cache (WithResultCache
+	// provides the engine's bounded sharded LRU).
+	ResultCache = driver.ResultCache
 )
 
 // NewArena returns an empty sequence arena with capacity hints (slab
@@ -182,6 +194,13 @@ var (
 	WithMaxBatchJobs = engine.WithMaxBatchJobs
 	// WithBatchOverhead sets the modeled per-batch host cost.
 	WithBatchOverhead = engine.WithBatchOverhead
+	// WithDedupExtensions aligns each unique (pair, seed) extension once
+	// per job and fans the result out to duplicates.
+	WithDedupExtensions = engine.WithDedupExtensions
+	// WithResultCache shares a bounded LRU of finished extensions across
+	// every job the engine serves (implies dedup); hit/miss/evict
+	// counters surface in EngineStats.
+	WithResultCache = engine.WithResultCache
 	// WithQueueDepth bounds in-flight submissions (backpressure).
 	WithQueueDepth = engine.WithQueueDepth
 	// WithExecutors sets the host-side executor pool width.
