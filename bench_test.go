@@ -109,6 +109,44 @@ func BenchmarkStandard3(b *testing.B) { benchAlign(b, core.AlgoStandard3, 0) }
 // BenchmarkAffine measures the affine-gap (ksw2-style) aligner.
 func BenchmarkAffine(b *testing.B) { benchAlign(b, core.AlgoAffine, 0) }
 
+// benchTraceback measures the traceback replay (the opt-in second pass)
+// on the same workload as benchAlign, so score-only vs traceback-on
+// Mcells/s compare directly — the cost ratio BENCH_engine.json tracks.
+func benchTraceback(b *testing.B, algo core.Algo, deltaB int) {
+	b.Helper()
+	h, v := benchPair(2000, 0.15)
+	p := xdropipu.Params{Scorer: xdropipu.DNAScorer, Gap: -1, X: 15, Algo: algo, DeltaB: deltaB}
+	if algo == core.AlgoAffine {
+		p.GapOpen = -2
+	}
+	var ws xdropipu.Workspace
+	var cells int64
+	var traceBytes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := ws.ExtendRight(h, v, 0, 0, p)
+		cells += r.Stats.Cells
+		tr, err := ws.TracebackRight(h, v, 0, 0, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.Score != r.Score {
+			b.Fatalf("traceback score %d != kernel %d", tr.Score, r.Score)
+		}
+		traceBytes = tr.TraceBytes
+	}
+	b.ReportMetric(float64(cells)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+	b.ReportMetric(float64(traceBytes), "traceB")
+}
+
+// BenchmarkRestricted2Traceback measures the memory-restricted aligner
+// with CIGAR emission (two passes).
+func BenchmarkRestricted2Traceback(b *testing.B) { benchTraceback(b, core.AlgoRestricted2, 256) }
+
+// BenchmarkAffineTraceback measures the affine aligner with CIGAR
+// emission (two passes, 4-bit trace cells).
+func BenchmarkAffineTraceback(b *testing.B) { benchTraceback(b, core.AlgoAffine, 0) }
+
 // BenchmarkExtendSeed measures a full two-sided seed extension.
 func BenchmarkExtendSeed(b *testing.B) {
 	h, v := benchPair(4000, 0.15)

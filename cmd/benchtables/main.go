@@ -10,11 +10,12 @@
 // parallel resources (default 8); -size scales dataset sizes. -json runs
 // the engine throughput benchmark and writes its machine-readable result
 // (Mcells/s per kernel variant, engine throughput at 1/4/16 concurrent
-// submitters, and the dedup/result-cache measurement) to the given file —
-// the BENCH_engine.json artifact that tracks the performance trajectory
-// across PRs. -checkjson verifies an existing artifact against the
-// current schema, the CI gate that catches drift between the committed
-// file and the code that regenerates it.
+// submitters, the dedup/result-cache measurement, and the traceback-on
+// vs score-only throughput with peak traceback bytes) to the given file
+// — the BENCH_engine.json artifact that tracks the performance
+// trajectory across PRs. -checkjson verifies an existing artifact
+// against the current schema, the CI gate that catches drift between the
+// committed file and the code that regenerates it.
 package main
 
 import (

@@ -1,10 +1,12 @@
 // Proteinsearch: run the PASTIS pipeline — quasi-exact BLOSUM62 seeding
 // plus X-Drop alignment (X=49, gap −2) — over synthetic protein families
-// and recover the family structure.
+// and recover the family structure, reporting each accepted homolog pair
+// as a real alignment (CIGAR + identity), not just a score.
 package main
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/sram-align/xdropipu"
 	"github.com/sram-align/xdropipu/internal/synth"
@@ -25,6 +27,7 @@ func main() {
 		Model:       xdropipu.BOW,
 		TilesPerIPU: 16,
 		Partition:   true,
+		Traceback:   true, // emit CIGARs alongside scores
 		Kernel: xdropipu.KernelConfig{
 			Params:           xdropipu.Params{Scorer: xdropipu.Blosum62, Gap: -2, X: 49, DeltaB: 256},
 			LRSplit:          true,
@@ -58,4 +61,26 @@ func main() {
 		}
 	}
 	fmt.Printf("recovered %d multi-member families\n", fams)
+
+	// Real alignment reporting: the strongest candidate alignments with
+	// their edit scripts and BLOSUM62 identities.
+	order := make([]int, len(res.Alignments))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return res.Alignments[order[a]].Score > res.Alignments[order[b]].Score
+	})
+	fmt.Println("top hits (pair, score, identity, aligned spans, cigar):")
+	for _, ci := range order[:min(3, len(order))] {
+		aln := res.Alignments[ci]
+		c := res.Dataset.Comparisons[ci]
+		cigar := string(aln.Cigar)
+		if len(cigar) > 60 {
+			cigar = cigar[:57] + "..."
+		}
+		fmt.Printf("  p%d×p%d  score %d  id %.1f%%  %daa/%daa  %s\n",
+			c.H, c.V, aln.Score, aln.Cigar.Identity()*100,
+			aln.SpanH(), aln.SpanV(), cigar)
+	}
 }

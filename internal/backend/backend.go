@@ -89,6 +89,7 @@ func (b *IPU) Align(d *workload.Dataset) (*Outcome, error) {
 			Score: r.Score,
 			BegH:  r.BegH, BegV: r.BegV,
 			EndH: r.EndH, EndV: r.EndV,
+			Cigar: r.Cigar, // non-empty when the fleet ran with traceback
 		}
 	}
 	return out, nil

@@ -56,6 +56,10 @@ func TestEngineJSONRoundTrip(t *testing.T) {
 	if err := VerifyEngineJSON([]byte(withoutDedup)); err == nil {
 		t.Error("payload missing the dedup section accepted")
 	}
+	withoutTraceback := strings.Replace(buf.String(), `"traceback"`, `"traceback_gone"`, 1)
+	if err := VerifyEngineJSON([]byte(withoutTraceback)); err == nil {
+		t.Error("payload missing the traceback section accepted")
+	}
 }
 
 func TestByName(t *testing.T) {

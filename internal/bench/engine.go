@@ -17,8 +17,10 @@ import (
 )
 
 // EngineBenchSchema versions the BENCH_engine.json layout. v2 added the
-// dedup/cache section (hit rate, dedup ratio, duplicate-heavy speedup).
-const EngineBenchSchema = "xdropipu-bench-engine/v2"
+// dedup/cache section (hit rate, dedup ratio, duplicate-heavy speedup);
+// v3 added the traceback section (traceback-on vs score-only Mcells/s
+// and peak traceback bytes).
+const EngineBenchSchema = "xdropipu-bench-engine/v3"
 
 // VariantThroughput is one kernel variant's host-measured throughput.
 type VariantThroughput struct {
@@ -68,17 +70,34 @@ type DedupThroughput struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 }
 
+// TracebackThroughput measures the cost and footprint of the two-pass
+// traceback: the same plan run score-only and with CIGAR emission.
+type TracebackThroughput struct {
+	// ScoreOnlyMcellsPerSec and TracebackMcellsPerSec are computed DP
+	// cells over host wall time with traceback off vs on (the on run
+	// pays the recording replay, so the ratio tracks the two-pass cost).
+	ScoreOnlyMcellsPerSec float64 `json:"score_only_mcells_per_sec"`
+	TracebackMcellsPerSec float64 `json:"traceback_mcells_per_sec"`
+	// PeakTracebackBytes is Report.PeakTracebackBytes of the traceback
+	// run: the largest single-extension direction trace, bounded by the
+	// live-window band.
+	PeakTracebackBytes int `json:"peak_traceback_bytes"`
+	// TracebackBytes is the total recorded trace storage of the run.
+	TracebackBytes int64 `json:"traceback_bytes"`
+}
+
 // EngineBenchResult is the machine-readable BENCH_engine.json payload:
 // the per-variant kernel throughput plus engine throughput under
-// concurrent submitters and the dedup/cache measurement, tracked across
-// PRs.
+// concurrent submitters, the dedup/cache measurement and the traceback
+// cost, tracked across PRs.
 type EngineBenchResult struct {
-	Schema     string              `json:"schema"`
-	Scale      int                 `json:"scale"`
-	SizeFactor float64             `json:"size_factor"`
-	Variants   []VariantThroughput `json:"variants"`
-	Engine     []EngineThroughput  `json:"engine"`
-	Dedup      *DedupThroughput    `json:"dedup"`
+	Schema     string               `json:"schema"`
+	Scale      int                  `json:"scale"`
+	SizeFactor float64              `json:"size_factor"`
+	Variants   []VariantThroughput  `json:"variants"`
+	Engine     []EngineThroughput   `json:"engine"`
+	Dedup      *DedupThroughput     `json:"dedup"`
+	Traceback  *TracebackThroughput `json:"traceback"`
 }
 
 // engineBenchDataset is the common workload: dense enough to produce
@@ -193,7 +212,41 @@ func EngineBench(opt Options) (*EngineBenchResult, error) {
 		return nil, err
 	}
 	res.Dedup = dedup
+
+	tb, err := tracebackBench(opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Traceback = tb
 	return res, nil
+}
+
+// tracebackBench times the same workload score-only and with the
+// two-pass traceback enabled, and reports the peak trace footprint the
+// traceback run measured.
+func tracebackBench(opt Options) (*TracebackThroughput, error) {
+	d := opt.engineBenchDataset(9)
+	run := func(traceback bool) (*driver.Report, float64, error) {
+		cfg := opt.driverConfig(15, 256, 1)
+		cfg.Traceback = traceback
+		start := time.Now()
+		rep, err := driver.Run(d, cfg)
+		return rep, time.Since(start).Seconds(), err
+	}
+	repOff, elOff, err := run(false)
+	if err != nil {
+		return nil, fmt.Errorf("traceback bench (score-only): %w", err)
+	}
+	repOn, elOn, err := run(true)
+	if err != nil {
+		return nil, fmt.Errorf("traceback bench (traceback): %w", err)
+	}
+	return &TracebackThroughput{
+		ScoreOnlyMcellsPerSec: float64(repOff.Cells) / 1e6 / elOff,
+		TracebackMcellsPerSec: float64(repOn.Cells) / 1e6 / elOn,
+		PeakTracebackBytes:    repOn.PeakTracebackBytes,
+		TracebackBytes:        repOn.TracebackBytes,
+	}, nil
 }
 
 // duplicateComparisons returns a view of d with every comparison repeated
@@ -289,8 +342,8 @@ func VerifyEngineJSON(data []byte) error {
 	if res.Schema != EngineBenchSchema {
 		return fmt.Errorf("bench: engine JSON schema %q, want %q (regenerate with benchtables -json)", res.Schema, EngineBenchSchema)
 	}
-	if len(res.Variants) == 0 || len(res.Engine) == 0 || res.Dedup == nil {
-		return fmt.Errorf("bench: engine JSON is missing sections (variants/engine/dedup)")
+	if len(res.Variants) == 0 || len(res.Engine) == 0 || res.Dedup == nil || res.Traceback == nil {
+		return fmt.Errorf("bench: engine JSON is missing sections (variants/engine/dedup/traceback)")
 	}
 	return nil
 }
@@ -335,6 +388,14 @@ func EngineExp(opt Options) error {
 			metrics.Ratio(d.Speedup), d.DedupRatio, metrics.Percent(d.CacheHitRate*100))
 		dt.AddNote("WithResultCache vs plain engine, same %d× duplicated dataset resubmitted per job", d.DupFactor)
 		dt.Render(opt.W)
+	}
+	if tb := res.Traceback; tb != nil {
+		tt := metrics.NewTable("Engine — two-pass traceback cost (host-measured)",
+			"score-only Mcells/s", "traceback Mcells/s", "peak trace B", "total trace B")
+		tt.AddRow(tb.ScoreOnlyMcellsPerSec, tb.TracebackMcellsPerSec,
+			tb.PeakTracebackBytes, tb.TracebackBytes)
+		tt.AddNote("peak trace is per extension, bounded by the live-window band (2 bits/cell)")
+		tt.Render(opt.W)
 	}
 	return nil
 }

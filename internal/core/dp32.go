@@ -92,6 +92,9 @@ func (v View) vdir() (step, dd, org int) {
 type Workspace struct {
 	b0, b1, b2     []int32
 	e0, e1, f0, f1 []int32
+	// tb is the traceback replay's state (rows, window index, packed
+	// direction codes); see traceback.go. Untouched by the score pass.
+	tb tracer
 }
 
 // statAcc accumulates the per-antidiagonal trace counters in plain locals

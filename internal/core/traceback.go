@@ -1,0 +1,679 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/sram-align/xdropipu/internal/alignment"
+)
+
+// This file is the opt-in second pass of the two-pass traceback scheme:
+// the score pass (restricted2.go, standard3.go, affine.go) stays exactly
+// as it is — branch-specialized, allocation-free, no per-cell bookkeeping
+// — and when a caller asks for edit operations the extension is replayed
+// once more with direction recording enabled.
+//
+// The replay reproduces each variant's window semantics bit for bit
+// (same antidiagonal windows, the same δb clamp re-centred on the
+// previous row's best cell, the same X-Drop pruning in int32 arithmetic,
+// the same first-wins tie-breaking), so its Score/EndH/EndV must equal
+// the score pass's — the kernel asserts exactly that, and the
+// differential oracle tests pin it per variant.
+//
+// Memory stays in the paper's SRAM discipline: instead of materialising
+// the O(m·n) score matrix, the replay records only direction codes over
+// the banded antidiagonal windows — 2 bits per computed cell for the
+// linear variants, 4 bits for affine (H-source plus the E/F gap-extension
+// bits) — plus one window descriptor per antidiagonal. Peak traceback
+// memory is therefore bounded by (antidiagonals × band)/4 bytes, with the
+// band clamped to δb for Restricted2, never by the full matrix.
+
+// Trace direction codes (2 bits per cell, linear variants). For affine
+// the low 2 bits hold the H-channel source (codeDiag/codeUpE/codeLeftF
+// reinterpreted as diag/E/F) and bits 2 and 3 hold the E- and F-channel
+// gap-extension flags.
+const (
+	codeNone byte = 0 // pruned cell / origin
+	codeDiag byte = 1 // from (i-1, j-1): consumes one symbol of each
+	codeUp   byte = 2 // from (i-1, j): consumes H only ('I')
+	codeLeft byte = 3 // from (i, j-1): consumes V only ('D')
+
+	// Affine H-channel sources (low 2 bits).
+	afSrcDiag byte = 1
+	afSrcE    byte = 2 // H equals the E channel (gap in H ending here)
+	afSrcF    byte = 3 // H equals the F channel (gap in V ending here)
+	// Affine channel-extension flags.
+	afEExt byte = 4 // E came from E(i,j-1), not H(i,j-1)+open
+	afFExt byte = 8 // F came from F(i-1,j), not H(i-1,j)+open
+)
+
+// tracer is the workspace state of a traceback replay: the rotating DP
+// rows, the per-antidiagonal window index, and the packed direction
+// codes. Buffers are reused across replays; peak footprint is reported
+// per extension as Trace.TraceBytes.
+type tracer struct {
+	rowA, rowB, rowC []int32 // rotating H rows (d, d-1, d-2)
+	e1, e0, f1, f0   []int32 // affine E/F rows (d-1 and d)
+
+	cls  []int32 // window start per antidiagonal
+	offs []int32 // prefix cell counts per antidiagonal (len = diags+1)
+	dirs []byte  // packed direction codes
+	ops  []byte  // walker scratch: one op byte per alignment column
+
+	bits uint // bits per cell this recording uses (2 linear, 4 affine)
+}
+
+func (tb *tracer) reset(bits uint) {
+	tb.cls = tb.cls[:0]
+	tb.offs = append(tb.offs[:0], 0)
+	tb.dirs = tb.dirs[:0]
+	tb.bits = bits
+}
+
+// maxTraceCells caps the recorded cells of one replay so the int32
+// prefix offsets cannot wrap. The fleet path never gets near it (tile
+// SRAM bounds extensions first); the direct host API errors cleanly
+// instead of corrupting a multi-hundred-MB trace.
+const maxTraceCells = 1<<31 - 1
+
+// errTraceTooLarge reports a replay whose recording would exceed the
+// 31-bit cell space (host-API-only; tile extensions are SRAM-bounded).
+var errTraceTooLarge = fmt.Errorf("core: traceback recording exceeds %d cells (extension too large; restrict δb or split the extension)", maxTraceCells)
+
+// beginDiag opens the recording window [cl, cl+width) for the next
+// antidiagonal and returns the cell offset its codes start at, or -1
+// when the recording would overflow the 31-bit cell space.
+func (tb *tracer) beginDiag(cl, width int) int32 {
+	base := tb.offs[len(tb.offs)-1]
+	if int64(base)+int64(width) > maxTraceCells {
+		return -1
+	}
+	tb.cls = append(tb.cls, int32(cl))
+	tb.offs = append(tb.offs, base+int32(width))
+	need := ((int(base)+width)*int(tb.bits) + 7) / 8
+	if need > len(tb.dirs) {
+		if need <= cap(tb.dirs) {
+			// Stale bits from a previous replay are fine: setCode masks
+			// every cell it writes and code() bounds-checks every read.
+			tb.dirs = tb.dirs[:need]
+		} else {
+			tb.dirs = append(tb.dirs, make([]byte, need-len(tb.dirs))...)
+		}
+	}
+	return base
+}
+
+// setCode stores the direction code of the k-th cell of the window
+// opened at base.
+func (tb *tracer) setCode(base int32, k int, code byte) {
+	idx := uint(base) + uint(k)
+	if tb.bits == 2 {
+		shift := (idx & 3) * 2
+		b := &tb.dirs[idx>>2]
+		*b = *b&^(3<<shift) | code<<shift
+		return
+	}
+	shift := (idx & 1) * 4
+	b := &tb.dirs[idx>>1]
+	*b = *b&^(15<<shift) | code<<shift
+}
+
+// code reads the direction code of cell i on antidiagonal d, or an error
+// when (d, i) lies outside the recorded windows (a corrupt trace).
+func (tb *tracer) code(d, i int) (byte, error) {
+	if d < 0 || d >= len(tb.cls) {
+		return 0, fmt.Errorf("core: traceback walked off the recorded antidiagonals (d=%d of %d)", d, len(tb.cls))
+	}
+	cl := int(tb.cls[d])
+	width := int(tb.offs[d+1] - tb.offs[d])
+	if i < cl || i >= cl+width {
+		return 0, fmt.Errorf("core: traceback cell (d=%d, i=%d) outside recorded window [%d,%d)", d, i, cl, cl+width)
+	}
+	idx := uint(tb.offs[d]) + uint(i-cl)
+	if tb.bits == 2 {
+		return tb.dirs[idx>>2] >> ((idx & 3) * 2) & 3, nil
+	}
+	return tb.dirs[idx>>1] >> ((idx & 1) * 4) & 15, nil
+}
+
+// traceBytes is the recording's exact byte footprint: packed codes plus
+// the per-antidiagonal window index.
+func (tb *tracer) traceBytes() int {
+	return len(tb.dirs) + 4*len(tb.cls) + 4*len(tb.offs)
+}
+
+// Trace is the outcome of one extension's traceback replay.
+type Trace struct {
+	// Score, EndH and EndV bit-match the score-only kernel's Result for
+	// the same views and parameters.
+	Score      int
+	EndH, EndV int
+	// Cigar covers view positions [0,EndH)×[0,EndV). TracebackExtension
+	// and TracebackRight return it in view-forward order;
+	// TracebackLeft returns it in sequence-forward order (the
+	// composition order of a left seed extension).
+	Cigar alignment.Cigar
+	// TraceBytes is the exact peak byte footprint of the recorded
+	// direction data for this replay: packed per-cell codes over the
+	// banded windows plus the window index — the measured space cost of
+	// traceback, bounded by antidiagonals × band, never by m·n.
+	TraceBytes int
+	// Clamped mirrors the score pass: the δb window clamped at least once.
+	Clamped bool
+}
+
+func grow32(b []int32, n int) []int32 {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]int32, n)
+}
+
+// get32 reads row value i from a window [cl, cu]; outside reads answer
+// −∞, exactly like the score kernels' guard cells.
+func get32(vals []int32, cl, cu, i int) int32 {
+	if i < cl || i > cu {
+		return negInf32
+	}
+	return vals[i-cl]
+}
+
+// linearCapacity resolves the replay's working-window bound the same way
+// the score kernels do: Restricted2 honours DeltaB, every other linear
+// variant (Standard3, Reference) is unbounded.
+func linearCapacity(m, n int, p Params) int {
+	delta := min(m, n) + 1
+	if p.Algo == AlgoRestricted2 && p.DeltaB > 0 && p.DeltaB < delta {
+		return p.DeltaB
+	}
+	return delta
+}
+
+// traceLinear replays a linear-gap extension (Restricted2 / Standard3 /
+// Reference semantics) with direction recording and returns the walk-order
+// ops (best cell back to the origin) in tb.ops.
+func (w *Workspace) traceLinear(h, v View, p Params) (Trace, error) {
+	m, n := h.Len(), v.Len()
+	capacity := linearCapacity(m, n, p)
+	tb := &w.tb
+	tb.reset(2)
+
+	tab := p.Scorer.Table()
+	gap := int32(p.Gap)
+
+	d1 := grow32(tb.rowB, 1)
+	d1[0] = 0
+	d1cl, d1cu := 0, 0 // computed window of antidiagonal d-1
+	d1lo, d1hi := 0, 0 // live bounds of antidiagonal d-1
+	d2 := tb.rowC[:0]
+	d2cl, d2cu := 0, -1 // antidiagonal d-2 starts empty (all −∞)
+	spare := tb.rowA
+
+	var res Trace
+	base := tb.beginDiag(0, 1)
+	tb.setCode(base, 0, codeNone) // the origin
+
+	best, t := int32(0), int32(0)
+	bestI, bestD := 0, 0
+	prevBestI := 0
+
+	for d := 1; d <= m+n; d++ {
+		cl := max(d1lo, max(0, d-n))
+		cu := min(d1hi+1, min(d, m))
+		if cl > cu {
+			break
+		}
+		if cu-cl+1 > capacity {
+			// The δb clamp, re-centred on the previous antidiagonal's
+			// best cell — identical to Restricted2's realignment rule.
+			res.Clamped = true
+			ncl := prevBestI - capacity/2
+			if ncl < cl {
+				ncl = cl
+			}
+			if ncl > cu-capacity+1 {
+				ncl = cu - capacity + 1
+			}
+			cl = ncl
+			cu = cl + capacity - 1
+		}
+		limit := pruneLimit(t, p.X)
+		width := cu - cl + 1
+		out := grow32(spare, width)
+		rowBest, rowBestI := negInf32, -1
+		lo, hi := -1, -1
+		base := tb.beginDiag(cl, width)
+		if base < 0 {
+			return Trace{}, errTraceTooLarge
+		}
+		for i := cl; i <= cu; i++ {
+			j := d - i
+			var s int32
+			var code byte
+			switch {
+			case i == 0:
+				// Top boundary (j = d): only the left (gap-in-H) move.
+				s = get32(d1, d1cl, d1cu, 0) + gap
+				code = codeLeft
+			case j == 0:
+				// Bottom boundary: only the up (gap-in-V) move.
+				s = get32(d1, d1cl, d1cu, i-1) + gap
+				code = codeUp
+			default:
+				s = get32(d2, d2cl, d2cu, i-1) + int32(tab[h.At(i-1)][v.At(j-1)])
+				code = codeDiag
+				up := get32(d1, d1cl, d1cu, i-1)
+				left := get32(d1, d1cl, d1cu, i)
+				// The kernels take the gap branch only when it strictly
+				// beats the diagonal; between the two gap sources the
+				// value is what matters, up wins ties here.
+				if g := max(up, left) + gap; g > s {
+					s = g
+					if up >= left {
+						code = codeUp
+					} else {
+						code = codeLeft
+					}
+				}
+			}
+			if s < limit {
+				s, code = negInf32, codeNone
+			} else {
+				if lo < 0 {
+					lo = i
+				}
+				hi = i
+			}
+			if s > rowBest {
+				rowBest, rowBestI = s, i
+			}
+			out[i-cl] = s
+			tb.setCode(base, i-cl, code)
+		}
+		if lo < 0 {
+			break
+		}
+		if rowBest > best {
+			best, bestI, bestD = rowBest, rowBestI, d
+		}
+		if rowBest > t {
+			t = rowBest
+		}
+		spare = d2
+		d2, d2cl, d2cu = d1, d1cl, d1cu
+		d1, d1cl, d1cu = out, cl, cu
+		d1lo, d1hi = lo, hi
+		prevBestI = rowBestI
+	}
+	tb.rowA, tb.rowB, tb.rowC = spare[:0], d1[:0], d2[:0]
+
+	res.Score = int(best)
+	res.EndH = bestI
+	res.EndV = bestD - bestI
+	res.TraceBytes = tb.traceBytes()
+	if err := tb.walkLinear(h, v, bestI, bestD); err != nil {
+		return Trace{}, err
+	}
+	return res, nil
+}
+
+// walkLinear follows the recorded directions from the best cell back to
+// the origin, leaving one op byte per column in tb.ops (walk order:
+// best → origin).
+func (tb *tracer) walkLinear(h, v View, bestI, bestD int) error {
+	i, j := bestI, bestD-bestI
+	ops := tb.ops[:0]
+	for i != 0 || j != 0 {
+		code, err := tb.code(i+j, i)
+		if err != nil {
+			return err
+		}
+		switch code {
+		case codeDiag:
+			op := byte(alignment.OpMismatch)
+			if h.At(i-1) == v.At(j-1) {
+				op = byte(alignment.OpMatch)
+			}
+			ops = append(ops, op)
+			i--
+			j--
+		case codeUp:
+			ops = append(ops, byte(alignment.OpIns))
+			i--
+		case codeLeft:
+			ops = append(ops, byte(alignment.OpDel))
+			j--
+		default:
+			return fmt.Errorf("core: traceback hit a pruned cell at (i=%d, j=%d)", i, j)
+		}
+	}
+	tb.ops = ops
+	return nil
+}
+
+// traceAffine replays the Gotoh affine-gap extension with direction
+// recording (4 bits per cell) and leaves the walk-order ops in tb.ops.
+func (w *Workspace) traceAffine(h, v View, p Params) (Trace, error) {
+	m, n := h.Len(), v.Len()
+	tb := &w.tb
+	tb.reset(4)
+
+	tab := p.Scorer.Table()
+	gape := int32(p.Gap)
+	gapo := int32(p.GapOpen)
+
+	d1h := grow32(tb.rowB, 1)
+	d1e := grow32(tb.e1, 1)
+	d1f := grow32(tb.f1, 1)
+	d1h[0], d1e[0], d1f[0] = 0, negInf32, negInf32
+	d1cl, d1cu := 0, 0
+	d1lo, d1hi := 0, 0
+	d2h := tb.rowC[:0]
+	d2cl, d2cu := 0, -1
+	spareH, spareE, spareF := tb.rowA, tb.e0, tb.f0
+
+	var res Trace
+	base := tb.beginDiag(0, 1)
+	tb.setCode(base, 0, codeNone)
+
+	best, t := int32(0), int32(0)
+	bestI, bestD := 0, 0
+
+	for d := 1; d <= m+n; d++ {
+		cl := max(d1lo, max(0, d-n))
+		cu := min(d1hi+1, min(d, m))
+		if cl > cu {
+			break
+		}
+		limit := pruneLimit(t, p.X)
+		width := cu - cl + 1
+		outH := grow32(spareH, width)
+		outE := grow32(spareE, width)
+		outF := grow32(spareF, width)
+		rowBest, rowBestI := negInf32, -1
+		lo, hi := -1, -1
+		base := tb.beginDiag(cl, width)
+		if base < 0 {
+			return Trace{}, errTraceTooLarge
+		}
+		for i := cl; i <= cu; i++ {
+			j := d - i
+			var hs, es, fs int32
+			var code byte
+			switch {
+			case i == 0:
+				// Top boundary: the cell is its own E channel.
+				pe := get32(d1e, d1cl, d1cu, 0)
+				ph := get32(d1h, d1cl, d1cu, 0)
+				es = max(pe, ph+gapo) + gape
+				if pe >= ph+gapo {
+					code |= afEExt
+				}
+				if es < limit {
+					es = negInf32
+				}
+				hs, fs = es, negInf32
+				if es != negInf32 {
+					code |= afSrcE
+				}
+			case j == 0:
+				// Bottom boundary: the cell is its own F channel.
+				pf := get32(d1f, d1cl, d1cu, i-1)
+				ph := get32(d1h, d1cl, d1cu, i-1)
+				fs = max(pf, ph+gapo) + gape
+				if pf >= ph+gapo {
+					code |= afFExt
+				}
+				if fs < limit {
+					fs = negInf32
+				}
+				hs, es = fs, negInf32
+				if fs != negInf32 {
+					code |= afSrcF
+				}
+			default:
+				pe := get32(d1e, d1cl, d1cu, i)
+				phr := get32(d1h, d1cl, d1cu, i)
+				es = max(pe, phr+gapo) + gape
+				if pe >= phr+gapo {
+					code |= afEExt
+				}
+				pf := get32(d1f, d1cl, d1cu, i-1)
+				phl := get32(d1h, d1cl, d1cu, i-1)
+				fs = max(pf, phl+gapo) + gape
+				if pf >= phl+gapo {
+					code |= afFExt
+				}
+				hs = get32(d2h, d2cl, d2cu, i-1) + int32(tab[h.At(i-1)][v.At(j-1)])
+				src := afSrcDiag
+				if es > hs {
+					hs = es
+					src = afSrcE
+				}
+				if fs > hs {
+					hs = fs
+					src = afSrcF
+				}
+				if hs < limit {
+					hs = negInf32
+					src = 0
+				}
+				if es < limit {
+					es = negInf32
+				}
+				if fs < limit {
+					fs = negInf32
+				}
+				code |= src
+			}
+			if hs != negInf32 || es != negInf32 || fs != negInf32 {
+				if lo < 0 {
+					lo = i
+				}
+				hi = i
+			}
+			if hs > rowBest {
+				rowBest, rowBestI = hs, i
+			}
+			outH[i-cl], outE[i-cl], outF[i-cl] = hs, es, fs
+			tb.setCode(base, i-cl, code)
+		}
+		if lo < 0 {
+			break
+		}
+		if rowBest > best {
+			best, bestI, bestD = rowBest, rowBestI, d
+		}
+		if rowBest > t {
+			t = rowBest
+		}
+		spareH = d2h
+		d2h, d2cl, d2cu = d1h, d1cl, d1cu
+		spareE, spareF = d1e, d1f
+		d1h, d1e, d1f = outH, outE, outF
+		d1cl, d1cu = cl, cu
+		d1lo, d1hi = lo, hi
+		_ = rowBestI // affine never clamps, the previous best index is unused
+	}
+	tb.rowA, tb.rowB, tb.rowC = spareH[:0], d1h[:0], d2h[:0]
+	tb.e0, tb.e1, tb.f0, tb.f1 = spareE[:0], d1e[:0], spareF[:0], d1f[:0]
+
+	res.Score = int(best)
+	res.EndH = bestI
+	res.EndV = bestD - bestI
+	res.TraceBytes = tb.traceBytes()
+	if err := tb.walkAffine(h, v, bestI, bestD); err != nil {
+		return Trace{}, err
+	}
+	return res, nil
+}
+
+// walkAffine follows the affine trace channel-aware: the H channel reads
+// its source nibble; the E and F channels emit one gap column each and
+// their extension bit says whether the gap run continues.
+func (tb *tracer) walkAffine(h, v View, bestI, bestD int) error {
+	const chH, chE, chF = 0, 1, 2
+	i, j := bestI, bestD-bestI
+	ch := chH
+	ops := tb.ops[:0]
+	for i != 0 || j != 0 {
+		nib, err := tb.code(i+j, i)
+		if err != nil {
+			return err
+		}
+		switch ch {
+		case chH:
+			switch nib & 3 {
+			case afSrcDiag:
+				op := byte(alignment.OpMismatch)
+				if h.At(i-1) == v.At(j-1) {
+					op = byte(alignment.OpMatch)
+				}
+				ops = append(ops, op)
+				i--
+				j--
+			case afSrcE:
+				ch = chE
+			case afSrcF:
+				ch = chF
+			default:
+				return fmt.Errorf("core: affine traceback hit a pruned H cell at (i=%d, j=%d)", i, j)
+			}
+		case chE:
+			ops = append(ops, byte(alignment.OpDel))
+			if nib&afEExt == 0 {
+				ch = chH
+			}
+			j--
+		case chF:
+			ops = append(ops, byte(alignment.OpIns))
+			if nib&afFExt == 0 {
+				ch = chH
+			}
+			i--
+		}
+	}
+	if ch != chH {
+		return fmt.Errorf("core: affine traceback reached the origin inside a gap channel")
+	}
+	tb.ops = ops
+	return nil
+}
+
+// traceback dispatches on the variant and leaves the walk-order ops in
+// w.tb.ops.
+func (w *Workspace) traceback(h, v View, p Params) (Trace, error) {
+	if err := p.Validate(); err != nil {
+		return Trace{}, err
+	}
+	if p.Algo == AlgoAffine {
+		return w.traceAffine(h, v, p)
+	}
+	return w.traceLinear(h, v, p)
+}
+
+// encodeOps turns op bytes into a canonical Cigar. When rev is set the
+// ops are consumed back-to-front (turning walk order into view-forward
+// order).
+func encodeOps(ops []byte, rev bool) alignment.Cigar {
+	var b alignment.Builder
+	if rev {
+		for i := len(ops) - 1; i >= 0; i-- {
+			b.Append(alignment.Op(ops[i]), 1)
+		}
+	} else {
+		for _, op := range ops {
+			b.Append(alignment.Op(op), 1)
+		}
+	}
+	return b.Cigar()
+}
+
+// TracebackExtension replays one extension of h against v with direction
+// recording and returns its Cigar in view-forward order. Score, EndH and
+// EndV bit-match Align(h, v, p) on the same inputs.
+func (w *Workspace) TracebackExtension(h, v View, p Params) (Trace, error) {
+	tr, err := w.traceback(h, v, p)
+	if err != nil {
+		return Trace{}, err
+	}
+	tr.Cigar = encodeOps(w.tb.ops, true)
+	return tr, nil
+}
+
+// TracebackRight replays the right seed extension (ExtendRight) and
+// returns its Cigar in sequence-forward order.
+func (w *Workspace) TracebackRight(h, v []byte, hOff, vOff int, p Params) (Trace, error) {
+	return w.TracebackExtension(NewView(h[hOff:]), NewView(v[vOff:]), p)
+}
+
+// TracebackLeft replays the left seed extension (ExtendLeft, reversed
+// views) and returns its Cigar in sequence-forward order — for a
+// reversed view that is the walk order itself, so the left Cigar
+// concatenates directly in front of the seed.
+func (w *Workspace) TracebackLeft(h, v []byte, hOff, vOff int, p Params) (Trace, error) {
+	tr, err := w.traceback(NewReversedView(h[:hOff]), NewReversedView(v[:vOff]), p)
+	if err != nil {
+		return Trace{}, err
+	}
+	tr.Cigar = encodeOps(w.tb.ops, false)
+	return tr, nil
+}
+
+// SeedCigar emits the '='/'X' columns of the seed region itself. Exact
+// k-mer seeds yield a single '=' run; quasi-exact protein seeds (PASTIS)
+// may contain 'X' columns, which the score reconstruction prices through
+// the substitution table like any other column.
+func SeedCigar(h, v []byte, s Seed) alignment.Cigar {
+	var b alignment.Builder
+	for k := 0; k < s.Len; k++ {
+		op := alignment.OpMismatch
+		if h[s.H+k] == v[s.V+k] {
+			op = alignment.OpMatch
+		}
+		b.Append(op, 1)
+	}
+	return b.Cigar()
+}
+
+// TracebackSeed runs the traceback pass of a full two-sided seed
+// extension: both sides replayed with recording, the seed's own columns
+// bridged in between. The returned SeedResult carries the scores and
+// coordinates only (its Stats are zero — execution traces belong to the
+// score pass); the Alignment is the sequence-space result whose
+// reconstructed score (alignment.ScoreOf over the aligned fragments)
+// bit-matches Score.
+func (w *Workspace) TracebackSeed(h, v []byte, s Seed, p Params) (SeedResult, alignment.Alignment, error) {
+	if s.Len <= 0 || s.H < 0 || s.V < 0 || s.H+s.Len > len(h) || s.V+s.Len > len(v) {
+		return SeedResult{}, alignment.Alignment{}, fmt.Errorf("core: seed %+v out of range for |h|=%d |v|=%d", s, len(h), len(v))
+	}
+	left, err := w.TracebackLeft(h, v, s.H, s.V, p)
+	if err != nil {
+		return SeedResult{}, alignment.Alignment{}, err
+	}
+	leftCigar := left.Cigar
+	right, err := w.TracebackRight(h, v, s.H+s.Len, s.V+s.Len, p)
+	if err != nil {
+		return SeedResult{}, alignment.Alignment{}, err
+	}
+	full, err := alignment.Concat(leftCigar, SeedCigar(h, v, s), right.Cigar)
+	if err != nil {
+		return SeedResult{}, alignment.Alignment{}, err
+	}
+	res := SeedResult{
+		Score:      left.Score + SeedScore(h, v, s, p) + right.Score,
+		LeftScore:  left.Score,
+		RightScore: right.Score,
+		BegH:       s.H - left.EndH,
+		BegV:       s.V - left.EndV,
+		EndH:       s.H + s.Len + right.EndH,
+		EndV:       s.V + s.Len + right.EndV,
+	}
+	res.Stats.Clamped = left.Clamped || right.Clamped
+	aln := alignment.Alignment{
+		Score: res.Score,
+		BegH:  res.BegH, BegV: res.BegV,
+		EndH: res.EndH, EndV: res.EndV,
+		Cigar: full,
+	}
+	return res, aln, nil
+}

@@ -69,6 +69,13 @@ type Config struct {
 	// provides a bounded sharded LRU). A non-nil Cache implies
 	// DedupExtensions.
 	Cache ResultCache
+	// Traceback enables the two-pass traceback subsystem: every result
+	// carries its CIGAR (ipukernel.AlignOut.Cigar) and the report exposes
+	// peak traceback memory. Normalized folds it into Kernel.Traceback,
+	// and it is part of the kernel fingerprint, so a shared result cache
+	// never serves CIGAR-less entries to a traceback-enabled run (or vice
+	// versa). Off, reports are bit-identical to the score-only stack.
+	Traceback bool
 }
 
 // CacheKey is the full identity a cached extension result depends on:
@@ -133,6 +140,11 @@ func KernelFingerprint(cfg ipukernel.Config, model platform.IPUModel) uint64 {
 			flags |= 4
 		}
 	}
+	if cfg.Traceback {
+		// Traceback-on results carry CIGARs and trace-byte accounting;
+		// they must never be served to (or taken from) a score-only run.
+		flags |= 8
+	}
 	put(flags)
 	if p.Scorer != nil {
 		tab := p.Scorer.Table()
@@ -175,6 +187,9 @@ type Plan struct {
 	dedupedComparisons   int
 	cacheHits, cacheMiss int
 	skippedCells         int64
+	// traceback accounting
+	peakTraceBytes int
+	traceBytes     int64
 }
 
 type batchTiming struct {
@@ -234,6 +249,14 @@ type Report struct {
 	// and TheoreticalCells + SkippedTheoreticalCells is the per-comparison
 	// total a dedup-off run would model.
 	SkippedTheoreticalCells int64
+	// PeakTracebackBytes is the largest single-extension direction-trace
+	// footprint any tile thread held — the paper's space story measured
+	// for traceback: bounded by the live-window band (2 bits per banded
+	// cell, 4 for affine), never by the O(m·n) matrix. Zero with
+	// Config.Traceback off. TracebackBytes sums recorded trace storage
+	// over every executed extension.
+	PeakTracebackBytes int
+	TracebackBytes     int64
 }
 
 // GCUPS returns the paper's metric over the chosen time base.
@@ -262,6 +285,11 @@ func (c Config) Normalized() Config {
 	if c.SpreadFactor <= 0 {
 		c.SpreadFactor = 3
 	}
+	// Fold the driver-level traceback switch into the kernel config (and
+	// back), so fingerprints, batch execution and TileMemoryBytes all see
+	// one flag no matter which level enabled it. Idempotent.
+	c.Kernel.Traceback = c.Kernel.Traceback || c.Traceback
+	c.Traceback = c.Kernel.Traceback
 	return c
 }
 
@@ -626,6 +654,10 @@ func AssemblePlan(bp *BatchPlan, outs []*ipukernel.BatchResult) (*Plan, error) {
 		p.races += res.Races
 		p.stealOps += res.StealOps
 		p.skippedCells += res.DedupSkippedCells
+		p.traceBytes += res.TraceBytes
+		if res.PeakTraceBytes > p.peakTraceBytes {
+			p.peakTraceBytes = res.PeakTraceBytes
+		}
 		if res.MaxSRAM > p.maxSRAM {
 			p.maxSRAM = res.MaxSRAM
 		}
@@ -746,6 +778,8 @@ func (p *Plan) Schedule(ipus int) *Report {
 		CacheHits:               p.cacheHits,
 		CacheMisses:             p.cacheMiss,
 		SkippedTheoreticalCells: p.skippedCells,
+		PeakTracebackBytes:      p.peakTraceBytes,
+		TracebackBytes:          p.traceBytes,
 	}
 	overhead := p.cfg.BatchOverheadSeconds
 	if overhead <= 0 {

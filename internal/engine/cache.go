@@ -46,6 +46,20 @@ type resultCache struct {
 	shards   [cacheShards]cacheShard
 
 	hits, misses, evictions atomic.Int64
+	// payloadBytes approximates the cache's resident footprint: a fixed
+	// per-entry overhead plus each entry's CIGAR length. The LRU bound is
+	// per entry, and with traceback enabled entries carry alignment-length
+	// strings — this counter is what makes that growth observable
+	// (Stats.CacheBytes) instead of silent.
+	payloadBytes atomic.Int64
+}
+
+// cacheEntryFixedBytes approximates the per-entry overhead outside the
+// CIGAR: the AlignOut value, key, list element and map slot.
+const cacheEntryFixedBytes = 192
+
+func entryBytes(out ipukernel.AlignOut) int64 {
+	return cacheEntryFixedBytes + int64(len(out.Cigar))
 }
 
 func newResultCache(entries int) *resultCache {
@@ -91,12 +105,16 @@ func (c *resultCache) Get(k driver.CacheKey) (ipukernel.AlignOut, bool) {
 // Put implements driver.ResultCache.
 func (c *resultCache) Put(k driver.CacheKey, out ipukernel.AlignOut) {
 	s := c.shardOf(k)
+	bytesDelta := entryBytes(out)
 	s.mu.Lock()
 	if el, ok := s.m[k]; ok {
 		// Results are deterministic per key, so overwrite == refresh.
-		el.Value.(*cacheEntry).out = out
+		e := el.Value.(*cacheEntry)
+		bytesDelta -= entryBytes(e.out)
+		e.out = out
 		s.lru.MoveToFront(el)
 		s.mu.Unlock()
+		c.payloadBytes.Add(bytesDelta)
 		return
 	}
 	s.m[k] = s.lru.PushFront(&cacheEntry{key: k, out: out})
@@ -104,10 +122,13 @@ func (c *resultCache) Put(k driver.CacheKey, out ipukernel.AlignOut) {
 	for s.lru.Len() > c.perShard {
 		back := s.lru.Back()
 		s.lru.Remove(back)
-		delete(s.m, back.Value.(*cacheEntry).key)
+		e := back.Value.(*cacheEntry)
+		bytesDelta -= entryBytes(e.out)
+		delete(s.m, e.key)
 		evicted++
 	}
 	s.mu.Unlock()
+	c.payloadBytes.Add(bytesDelta)
 	if evicted > 0 {
 		c.evictions.Add(evicted)
 	}

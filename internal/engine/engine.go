@@ -114,7 +114,10 @@ func WithDedupExtensions(on bool) Option { return func(e *Engine) { e.cfg.DedupE
 // job or a later one, regardless of pool numbering — are aligned once.
 // entries bounds the cache (0 → DefaultResultCacheEntries). Enabling the
 // cache also enables duplicate-extension elimination, which the cache
-// keys ride on. Hit/miss/evict counters surface in Stats.
+// keys ride on. Hit/miss/evict counters surface in Stats. The bound is
+// per entry: under WithTraceback each entry also holds its alignment's
+// CIGAR (length-proportional), so size entries accordingly and watch
+// Stats.CacheBytes for the resident footprint.
 func WithResultCache(entries int) Option {
 	return func(e *Engine) {
 		if entries <= 0 {
@@ -124,6 +127,14 @@ func WithResultCache(entries int) Option {
 		e.cfg.DedupExtensions = true
 	}
 }
+
+// WithTraceback enables the two-pass traceback subsystem for every job
+// the engine serves: each streamed and reported result carries its CIGAR
+// (AlignOut.Cigar) and reports expose peak traceback memory. Composes
+// with dedup and the result cache — a cached hit fans the stored CIGAR
+// back out to every duplicate comparison, and the cache keys include the
+// traceback flag so score-only and traceback runs never share entries.
+func WithTraceback(on bool) Option { return func(e *Engine) { e.cfg.Traceback = on } }
 
 // WithQueueDepth bounds in-flight submissions; Submit blocks (or fails
 // on context cancellation) once the queue is full.
@@ -182,6 +193,11 @@ type Stats struct {
 	// CacheHits, CacheMisses and CacheEvictions count result-cache
 	// activity across all jobs (all zero without WithResultCache).
 	CacheHits, CacheMisses, CacheEvictions int64
+	// CacheBytes approximates the result cache's resident footprint
+	// (per-entry overhead plus stored CIGAR lengths). The cache bound is
+	// per entry; with traceback enabled entries carry alignment-length
+	// CIGARs, and this is where that growth shows up.
+	CacheBytes int64
 }
 
 // Stats returns engine-lifetime counters.
@@ -198,6 +214,7 @@ func (e *Engine) Stats() Stats {
 		st.CacheHits = e.cache.hits.Load()
 		st.CacheMisses = e.cache.misses.Load()
 		st.CacheEvictions = e.cache.evictions.Load()
+		st.CacheBytes = e.cache.payloadBytes.Load()
 	}
 	return st
 }

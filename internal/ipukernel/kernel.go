@@ -17,6 +17,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/sram-align/xdropipu/internal/alignment"
 	"github.com/sram-align/xdropipu/internal/core"
 	"github.com/sram-align/xdropipu/internal/ipu"
 	"github.com/sram-align/xdropipu/internal/platform"
@@ -163,6 +164,18 @@ type Config struct {
 	BusyWaitVariance bool
 	// DualIssue co-issues the integer and float pipelines (§4.1.4).
 	DualIssue bool
+	// Traceback enables the two-pass traceback: after the score pass each
+	// extension is replayed with direction recording (charged like a
+	// second DP sweep) and AlignOut carries the alignment's CIGAR plus
+	// exact trace-memory accounting. Off, results are bit-identical to
+	// the score-only kernel. Trace memory stays bounded by the live
+	// window band (2 bits per banded cell for the linear variants, 4 for
+	// affine), never by the full matrix; the peak single-extension
+	// footprint surfaces as BatchResult.PeakTraceBytes. It is reported
+	// alongside — not folded into — the TileMemoryBytes SRAM gate, since
+	// a thread holds only one extension's trace at a time and releases it
+	// once the CIGAR is emitted.
+	Traceback bool
 	// Cost is the instruction cost model (zero value → calibrated
 	// defaults).
 	Cost platform.KernelCost
@@ -254,6 +267,15 @@ type AlignOut struct {
 	MaxLiveBand int
 	// Clamped reports a δb clamp in either extension.
 	Clamped bool
+	// Cigar is the comparison's full edit script (left extension + seed
+	// columns + right extension) over [BegH,EndH)×[BegV,EndV). Empty
+	// unless Config.Traceback is set. Being a validated string it is
+	// immutable and comparable, so results stay ==-testable and safely
+	// shared through dedup fan-out and the cross-job result cache.
+	Cigar alignment.Cigar
+	// TraceBytes is the exact direction-trace storage both extensions'
+	// replays recorded (0 with traceback off).
+	TraceBytes int
 }
 
 // BatchResult aggregates one superstep.
@@ -290,6 +312,13 @@ type BatchResult struct {
 	// Zero unless the driver planned with duplicate-extension elimination.
 	DedupSkippedCells int64
 	DedupSkippedJobs  int
+	// PeakTraceBytes is the largest single-extension direction-trace
+	// footprint any tile thread held during the batch — the extra SRAM a
+	// traceback-enabled tile needs at once, bounded by the live-window
+	// band (0 with Config.Traceback off). TraceBytes sums the recorded
+	// trace storage across all the batch's extensions.
+	PeakTraceBytes int
+	TraceBytes     int64
 }
 
 // GCUPSDenominatorSeconds returns on-device compute seconds — the time
@@ -328,6 +357,9 @@ func Run(dev *ipu.Device, b *Batch, cfg Config) (*BatchResult, error) {
 		antidiag     int64
 		skippedCells int64
 		skippedJobs  int
+		peakTrace    int
+		traceBytes   int64
+		cigarBytes   int64
 		err          error
 	}
 	stats := make([]tileStats, len(b.Tiles))
@@ -377,6 +409,10 @@ func Run(dev *ipu.Device, b *Batch, cfg Config) (*BatchResult, error) {
 				st.antidiag = tr.antidiag
 				st.skippedCells = tr.skippedCells
 				st.skippedJobs = tr.skippedJobs
+				st.peakTrace = tr.peakTrace
+				st.traceBytes = tr.traceBytes
+				st.cigarBytes = tr.cigarBytes
+				st.err = tr.err
 			}
 		}()
 	}
@@ -398,6 +434,10 @@ func Run(dev *ipu.Device, b *Batch, cfg Config) (*BatchResult, error) {
 		res.Antidiags += st.antidiag
 		res.DedupSkippedCells += st.skippedCells
 		res.DedupSkippedJobs += st.skippedJobs
+		if st.peakTrace > res.PeakTraceBytes {
+			res.PeakTraceBytes = st.peakTrace
+		}
+		res.TraceBytes += st.traceBytes
 		if st.sram > maxSRAM {
 			maxSRAM = st.sram
 		}
@@ -407,7 +447,9 @@ func Run(dev *ipu.Device, b *Batch, cfg Config) (*BatchResult, error) {
 		var unique int
 		unique, spanScratch = tile.uniqueSeqBytes(spanScratch)
 		res.UniqueSeqBytesIn += int64(unique)
-		res.HostBytesOut += int64(len(tile.Jobs) * ResultBytes)
+		// CIGARs ride the result return as 4-byte packed runs on top of
+		// the fixed result slot.
+		res.HostBytesOut += int64(len(tile.Jobs)*ResultBytes) + st.cigarBytes
 	}
 	res.MaxSRAM = maxSRAM
 

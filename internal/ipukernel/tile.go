@@ -1,8 +1,10 @@
 package ipukernel
 
 import (
+	"fmt"
 	"sync"
 
+	"github.com/sram-align/xdropipu/internal/alignment"
 	"github.com/sram-align/xdropipu/internal/core"
 )
 
@@ -29,6 +31,17 @@ type tileResult struct {
 	antidiag     int64
 	skippedCells int64
 	skippedJobs  int
+	// Traceback accounting (zero with Config.Traceback off): peakTrace is
+	// the largest single-extension direction-trace footprint any simulated
+	// thread held; traceBytes sums recorded trace storage; cigarBytes is
+	// the encoded CIGAR payload added to the result transfer.
+	peakTrace  int
+	traceBytes int64
+	cigarBytes int64
+	// err records a traceback divergence (replay not bit-matching the
+	// score pass) — a kernel bug surfaced loudly instead of shipping a
+	// wrong alignment.
+	err error
 }
 
 // executor is a pool worker's reusable tile-execution state: one DP
@@ -40,6 +53,11 @@ type executor struct {
 	instr []int64
 	units []unit
 	tied  []int
+	// Per-job traceback scratch (sized only when Config.Traceback is on):
+	// each side's sequence-forward Cigar and trace footprint, combined
+	// with the seed columns once the tile's units have all run.
+	leftC, rightC   []alignment.Cigar
+	leftTB, rightTB []int
 }
 
 var execPool = sync.Pool{New: func() any { return &executor{} }}
@@ -58,6 +76,31 @@ func (ex *executor) prepare(threads int) {
 	}
 	ex.units = ex.units[:0]
 	ex.tied = ex.tied[:0]
+}
+
+// prepareTraces sizes and clears the per-job traceback scratch. The
+// CIGAR slices are cleared through their full capacity, not just the
+// new length: executors live in execPool for the process lifetime, and
+// a stale tail would pin an earlier tile's alignment-length strings.
+func (ex *executor) prepareTraces(jobs int) {
+	grow := func(c []alignment.Cigar) []alignment.Cigar {
+		if cap(c) < jobs {
+			return make([]alignment.Cigar, jobs)
+		}
+		c = c[:cap(c)]
+		clear(c)
+		return c[:jobs]
+	}
+	growN := func(n []int) []int {
+		if cap(n) < jobs {
+			return make([]int, jobs)
+		}
+		n = n[:jobs]
+		clear(n)
+		return n
+	}
+	ex.leftC, ex.rightC = grow(ex.leftC), grow(ex.rightC)
+	ex.leftTB, ex.rightTB = growN(ex.leftTB), growN(ex.rightTB)
 }
 
 // runTile executes all of a tile's jobs on the configured number of
@@ -80,6 +123,9 @@ func runTile(t *TileWork, cfg Config, ex *executor, out []AlignOut) tileResult {
 	}
 
 	ex.prepare(threads)
+	if cfg.Traceback {
+		ex.prepareTraces(len(t.Jobs))
+	}
 	units := ex.units
 	if cfg.LRSplit {
 		for j := range t.Jobs {
@@ -95,7 +141,7 @@ func runTile(t *TileWork, cfg Config, ex *executor, out []AlignOut) tileResult {
 	instr := ex.instr
 
 	exec := func(th int, u unit) {
-		cost := runUnit(t, cfg, &ex.ws[th], u, out, &tr)
+		cost := runUnit(t, cfg, ex, th, u, out, &tr)
 		instr[th] += cost
 	}
 
@@ -186,6 +232,19 @@ func runTile(t *TileWork, cfg Config, ex *executor, out []AlignOut) tileResult {
 			tr.skippedCells += int64(f-1) * int64(len(h)) * int64(len(v))
 			tr.skippedJobs += f - 1
 		}
+		if cfg.Traceback && tr.err == nil {
+			// Bridge the seed's own columns between the two extension
+			// CIGARs (both already in sequence-forward order).
+			full, err := alignment.Concat(ex.leftC[j], core.SeedCigar(h, v, seed), ex.rightC[j])
+			if err != nil {
+				tr.err = fmt.Errorf("ipukernel: comparison %d cigar: %w", job.GlobalID, err)
+				continue
+			}
+			o.Cigar = full
+			o.TraceBytes = ex.leftTB[j] + ex.rightTB[j]
+			tr.traceBytes += int64(o.TraceBytes)
+			tr.cigarBytes += int64(full.WireBytes())
+		}
 	}
 	return tr
 }
@@ -204,11 +263,15 @@ func stealJitter(th, n int) int64 {
 }
 
 // runUnit executes one unit's extension(s), records results and traces,
-// and returns the charged instruction cost.
-func runUnit(t *TileWork, cfg Config, ws *core.Workspace, u unit, out []AlignOut, tr *tileResult) int64 {
+// and returns the charged instruction cost. With Config.Traceback each
+// side also runs the recording replay (the second pass of the two-pass
+// scheme), charged like another DP sweep; the replay must bit-match the
+// score pass or the tile fails loudly.
+func runUnit(t *TileWork, cfg Config, ex *executor, th int, u unit, out []AlignOut, tr *tileResult) int64 {
 	job := &t.Jobs[u.job]
 	h, v := t.Seq(job.HLocal), t.Seq(job.VLocal)
 	o := &out[u.job]
+	ws := &ex.ws[th]
 
 	var cost int64
 	doLeft := u.side == sideBoth || u.side == sideLeft
@@ -221,6 +284,11 @@ func runUnit(t *TileWork, cfg Config, ws *core.Workspace, u unit, out []AlignOut
 		o.BegV = job.SeedV - r.EndV
 		cost += instrCost(cfg, r.Stats)
 		accumulate(o, tr, r.Stats)
+		if cfg.Traceback {
+			trc, err := ws.TracebackLeft(h, v, job.SeedH, job.SeedV, cfg.Params)
+			cost += recordTrace(trc, err, &r, "left", job.GlobalID,
+				&ex.leftC[u.job], &ex.leftTB[u.job], tr, cfg)
+		}
 	}
 	if doRight {
 		r := ws.ExtendRight(h, v, job.SeedH+job.SeedLen, job.SeedV+job.SeedLen, cfg.Params)
@@ -229,8 +297,39 @@ func runUnit(t *TileWork, cfg Config, ws *core.Workspace, u unit, out []AlignOut
 		o.EndV = job.SeedV + job.SeedLen + r.EndV
 		cost += instrCost(cfg, r.Stats)
 		accumulate(o, tr, r.Stats)
+		if cfg.Traceback {
+			trc, err := ws.TracebackRight(h, v, job.SeedH+job.SeedLen, job.SeedV+job.SeedLen, cfg.Params)
+			cost += recordTrace(trc, err, &r, "right", job.GlobalID,
+				&ex.rightC[u.job], &ex.rightTB[u.job], tr, cfg)
+		}
 	}
 	return cost
+}
+
+// recordTrace cross-checks one side's traceback replay against the
+// score-pass result and stores the side's CIGAR and trace footprint in
+// the executor scratch. It returns the extra instruction cost charged
+// for the replay (one more DP sweep), or 0 on failure — a replay error
+// or divergence lands in tr.err and fails the batch loudly rather than
+// shipping a wrong alignment.
+func recordTrace(trc core.Trace, err error, r *core.Result, side string, id int,
+	cigar *alignment.Cigar, traceBytes *int, tr *tileResult, cfg Config) int64 {
+	if err == nil && (trc.Score != r.Score || trc.EndH != r.EndH || trc.EndV != r.EndV) {
+		err = fmt.Errorf("ipukernel: %s traceback of comparison %d diverged: replay (%d,%d,%d) vs kernel (%d,%d,%d)",
+			side, id, trc.Score, trc.EndH, trc.EndV, r.Score, r.EndH, r.EndV)
+	}
+	if err != nil {
+		if tr.err == nil {
+			tr.err = err
+		}
+		return 0
+	}
+	*cigar = trc.Cigar
+	*traceBytes = trc.TraceBytes
+	if trc.TraceBytes > tr.peakTrace {
+		tr.peakTrace = trc.TraceBytes
+	}
+	return instrCost(cfg, r.Stats)
 }
 
 func accumulate(o *AlignOut, tr *tileResult, s core.Stats) {

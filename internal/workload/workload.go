@@ -14,6 +14,8 @@ package workload
 import (
 	"fmt"
 	"sync"
+
+	"github.com/sram-align/xdropipu/internal/alignment"
 )
 
 // Comparison is one planned pairwise alignment: two sequence indices plus
@@ -266,6 +268,10 @@ type Alignment struct {
 	Score int
 	// BegH/BegV are inclusive start offsets; EndH/EndV exclusive ends.
 	BegH, BegV, EndH, EndV int
+	// Cigar is the alignment's edit script over the aligned region,
+	// empty unless the backend ran with traceback enabled. Identity and
+	// aligned spans derive from it (alignment.Cigar methods).
+	Cigar alignment.Cigar
 }
 
 // SpanH returns the aligned length on H.

@@ -20,6 +20,7 @@ package xdropipu
 import (
 	"context"
 
+	"github.com/sram-align/xdropipu/internal/alignment"
 	"github.com/sram-align/xdropipu/internal/backend"
 	"github.com/sram-align/xdropipu/internal/baselines"
 	"github.com/sram-align/xdropipu/internal/core"
@@ -71,6 +72,54 @@ func Align(h, v []byte, p Params) Result {
 // right X-Drop extension around it (§4.1.1).
 func ExtendSeed(h, v []byte, s Seed, p Params) (SeedResult, error) {
 	return core.ExtendSeed(h, v, s, p)
+}
+
+// Traceback and CIGAR reporting.
+type (
+	// Cigar is an alignment's edit script ("12=1X3D…") over the
+	// {=, X, I, D} operation set: immutable, comparable, validated.
+	Cigar = alignment.Cigar
+	// CigarOp is one CIGAR operation.
+	CigarOp = alignment.Op
+	// CigarRun is one maximal run of a CIGAR operation.
+	CigarRun = alignment.Run
+	// TracedAlignment is a full traceback outcome: aligned spans in
+	// sequence coordinates plus the Cigar covering them.
+	TracedAlignment = alignment.Alignment
+)
+
+// CIGAR operations.
+const (
+	// CigarMatch ('=') aligns two equal symbols.
+	CigarMatch = alignment.OpMatch
+	// CigarMismatch ('X') aligns two differing symbols.
+	CigarMismatch = alignment.OpMismatch
+	// CigarIns ('I') consumes one H symbol against a gap in V.
+	CigarIns = alignment.OpIns
+	// CigarDel ('D') consumes one V symbol against a gap in H.
+	CigarDel = alignment.OpDel
+)
+
+// ParseCigar validates s and returns it as a Cigar.
+func ParseCigar(s string) (Cigar, error) { return alignment.Parse(s) }
+
+// CigarScore recomputes the score a Cigar implies over the two aligned
+// fragments — the independent oracle that pins traceback correctness:
+// for any CIGAR this library emits, the reconstructed score bit-matches
+// the score-only kernel.
+func CigarScore(h, v []byte, c Cigar, p Params) (int, error) {
+	return alignment.ScoreOf(h, v, c, p.Scorer, p.Gap, p.GapOpen)
+}
+
+// TracebackSeed runs the two-pass seed extension: a SeedResult whose
+// scores and coordinates bit-match ExtendSeed (its Stats are zero except
+// Clamped — execution traces belong to the score pass), plus the full
+// alignment with its CIGAR. Fleet-scale callers enable
+// IPUConfig.Traceback or WithTraceback instead and read AlignOut.Cigar
+// per comparison.
+func TracebackSeed(h, v []byte, s Seed, p Params) (SeedResult, TracedAlignment, error) {
+	var w core.Workspace
+	return w.TracebackSeed(h, v, s, p)
 }
 
 // Scoring schemes.
@@ -201,6 +250,9 @@ var (
 	// every job the engine serves (implies dedup); hit/miss/evict
 	// counters surface in EngineStats.
 	WithResultCache = engine.WithResultCache
+	// WithTraceback enables CIGAR emission for every job: results carry
+	// their edit scripts and reports expose peak traceback memory.
+	WithTraceback = engine.WithTraceback
 	// WithQueueDepth bounds in-flight submissions (backpressure).
 	WithQueueDepth = engine.WithQueueDepth
 	// WithExecutors sets the host-side executor pool width.
