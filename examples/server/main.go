@@ -136,4 +136,60 @@ func main() {
 			st.CacheHits, st.CacheMisses, st.CacheEvictions,
 			100*float64(st.CacheHits)/float64(st.CacheHits+st.CacheMisses))
 	}
+
+	faultTolerance()
+}
+
+// faultTolerance: the same service surviving an unreliable fleet. A
+// seeded fault plan fails ~8% of batch executions transiently (a flaky
+// link) and kills a few batches permanently (a dead device); the engine
+// retries the transients with backoff and quarantines the rest to the
+// reference host path — and the report comes out bit-identical to a
+// fault-free run, with the damage visible only in the lifetime stats.
+func faultTolerance() {
+	d := synth.Reads(synth.ReadsSpec{
+		Name: "chaos", GenomeLen: 60_000,
+		Coverage: 8, MeanReadLen: 1200, MinReadLen: 400, MaxReadLen: 2400,
+		Errors: synth.UniformDNA(0.05), SeedLen: 17, MinOverlap: 300,
+		Seed: 100,
+	})
+	plan := xdropipu.NewFaultPlan(42, xdropipu.FaultSpec{
+		TransientRate: 0.08,
+		PermanentRate: 0.03,
+	})
+	eng := xdropipu.NewEngine(
+		xdropipu.WithIPUs(4),
+		xdropipu.WithModel(xdropipu.GC200),
+		xdropipu.WithTilesPerIPU(8),
+		xdropipu.WithPartition(true),
+		xdropipu.WithKernel(xdropipu.KernelConfig{
+			Params: xdropipu.Params{
+				Scorer: xdropipu.DNAScorer, Gap: -1, X: 15, DeltaB: 256,
+			},
+			LRSplit: true, WorkStealing: true, BusyWaitVariance: true, DualIssue: true,
+		}),
+		// Fine batches: more executions for the fault plan to shoot at.
+		xdropipu.WithMaxBatchJobs(100),
+		xdropipu.WithFaultPlan(plan),
+		xdropipu.WithRetry(6, 0), // up to 6 retries per batch, no job cap
+		xdropipu.WithDegradedMode(xdropipu.DegradeFallback),
+	)
+	defer eng.Close()
+
+	job, err := eng.Submit(context.Background(), d)
+	if err != nil {
+		fmt.Printf("chaos: submit failed: %v\n", err)
+		return
+	}
+	rep, err := job.Wait(context.Background())
+	if err != nil {
+		fmt.Printf("chaos: %v\n", err)
+		return
+	}
+	st := eng.Stats()
+	tr, pm, _ := plan.Injected()
+	fmt.Printf("\nfault tolerance: %d alignments despite %d injected faults "+
+		"(%d transient, %d permanent)\n", len(rep.Results), st.FaultsInjected, tr, pm)
+	fmt.Printf("fault tolerance: %d retries, %d batches quarantined to the host path, "+
+		"%d partial failures\n", st.Retries, st.Quarantined, rep.PartialFailures)
 }

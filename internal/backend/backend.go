@@ -89,7 +89,8 @@ func (b *IPU) Align(d *workload.Dataset) (*Outcome, error) {
 			Score: r.Score,
 			BegH:  r.BegH, BegV: r.BegV,
 			EndH: r.EndH, EndV: r.EndV,
-			Cigar: r.Cigar, // non-empty when the fleet ran with traceback
+			Cigar:  r.Cigar,  // non-empty when the fleet ran with traceback
+			Failed: r.Failed, // degraded placeholder under DegradePartial
 		}
 	}
 	return out, nil

@@ -19,8 +19,9 @@ import (
 // EngineBenchSchema versions the BENCH_engine.json layout. v2 added the
 // dedup/cache section (hit rate, dedup ratio, duplicate-heavy speedup);
 // v3 added the traceback section (traceback-on vs score-only Mcells/s
-// and peak traceback bytes).
-const EngineBenchSchema = "xdropipu-bench-engine/v3"
+// and peak traceback bytes); v4 added the faults section (throughput
+// under injected transient fault rates with retries on).
+const EngineBenchSchema = "xdropipu-bench-engine/v4"
 
 // VariantThroughput is one kernel variant's host-measured throughput.
 type VariantThroughput struct {
@@ -86,6 +87,32 @@ type TracebackThroughput struct {
 	TracebackBytes int64 `json:"traceback_bytes"`
 }
 
+// FaultRateThroughput is the engine's throughput under one injected
+// transient-fault rate with retries enabled.
+type FaultRateThroughput struct {
+	// Rate is the per-execution transient fault probability.
+	Rate float64 `json:"rate"`
+	// JobsPerSec is completed submissions over host wall time.
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// McellsPerSec is computed DP cells over host wall time.
+	McellsPerSec float64 `json:"mcells_per_sec"`
+	// Retries is Stats.Retries after the run — re-executions paid.
+	Retries int64 `json:"retries"`
+	// FaultsInjected is the plan's lifetime injection count.
+	FaultsInjected int64 `json:"faults_injected"`
+}
+
+// FaultsThroughput measures graceful degradation under fault injection:
+// the same jobs run at increasing transient fault rates with per-batch
+// retry enabled, every job still completing bit-identically.
+type FaultsThroughput struct {
+	// Jobs is the submissions per rate.
+	Jobs int `json:"jobs"`
+	// Rates holds one measurement per injected fault rate (0 first, the
+	// fault-free baseline).
+	Rates []FaultRateThroughput `json:"rates"`
+}
+
 // EngineBenchResult is the machine-readable BENCH_engine.json payload:
 // the per-variant kernel throughput plus engine throughput under
 // concurrent submitters, the dedup/cache measurement and the traceback
@@ -98,6 +125,7 @@ type EngineBenchResult struct {
 	Engine     []EngineThroughput   `json:"engine"`
 	Dedup      *DedupThroughput     `json:"dedup"`
 	Traceback  *TracebackThroughput `json:"traceback"`
+	Faults     *FaultsThroughput    `json:"faults"`
 }
 
 // engineBenchDataset is the common workload: dense enough to produce
@@ -218,7 +246,92 @@ func EngineBench(opt Options) (*EngineBenchResult, error) {
 		return nil, err
 	}
 	res.Traceback = tb
+
+	fl, err := faultsBench(opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Faults = fl
 	return res, nil
+}
+
+// faultsBench runs the same jobs at increasing injected transient-fault
+// rates with retries enabled and measures the throughput cost of riding
+// out the failures. Results are verified bit-identical to the fault-free
+// run at every rate — fault tolerance that silently corrupted reports
+// would be worse than none.
+func faultsBench(opt Options) (*FaultsThroughput, error) {
+	jobs := opt.n(6)
+	if jobs > 6 {
+		jobs = 6
+	}
+	if jobs < 2 {
+		jobs = 2
+	}
+	d := opt.engineBenchDataset(7)
+	golden, err := driver.Run(d, func() driver.Config {
+		cfg := opt.driverConfig(15, 256, 1)
+		cfg.MaxBatchJobs = 64
+		return cfg
+	}())
+	if err != nil {
+		return nil, fmt.Errorf("faults bench (golden): %w", err)
+	}
+
+	out := &FaultsThroughput{Jobs: jobs}
+	for _, rate := range []float64{0, 0.05, 0.20} {
+		cfg := opt.driverConfig(15, 256, 1)
+		cfg.MaxBatchJobs = 64
+		eopts := []engine.Option{
+			engine.WithDriverConfig(cfg),
+			engine.WithRetry(8, 0),
+			engine.WithRetryBackoff(200*time.Microsecond, 2*time.Millisecond),
+		}
+		var plan *driver.FaultPlan
+		if rate > 0 {
+			plan = driver.NewFaultPlan(42, driver.FaultSpec{TransientRate: rate})
+			eopts = append(eopts, engine.WithFaultPlan(plan))
+		}
+		eng := engine.New(eopts...)
+		var cells int64
+		start := time.Now()
+		for i := 0; i < jobs; i++ {
+			job, err := eng.Submit(context.Background(), d)
+			if err != nil {
+				eng.Close()
+				return nil, fmt.Errorf("faults bench (rate %.2f): %w", rate, err)
+			}
+			rep, err := job.Wait(context.Background())
+			if err != nil {
+				eng.Close()
+				return nil, fmt.Errorf("faults bench (rate %.2f): %w", rate, err)
+			}
+			if len(rep.Results) != len(golden.Results) {
+				eng.Close()
+				return nil, fmt.Errorf("faults bench (rate %.2f): %d results, want %d", rate, len(rep.Results), len(golden.Results))
+			}
+			for k := range rep.Results {
+				if rep.Results[k] != golden.Results[k] {
+					eng.Close()
+					return nil, fmt.Errorf("faults bench (rate %.2f): result %d diverged from fault-free run", rate, k)
+				}
+			}
+			cells += rep.Cells
+		}
+		el := time.Since(start).Seconds()
+		st := eng.Stats()
+		if err := eng.Close(); err != nil {
+			return nil, err
+		}
+		out.Rates = append(out.Rates, FaultRateThroughput{
+			Rate:           rate,
+			JobsPerSec:     float64(jobs) / el,
+			McellsPerSec:   float64(cells) / 1e6 / el,
+			Retries:        st.Retries,
+			FaultsInjected: st.FaultsInjected,
+		})
+	}
+	return out, nil
 }
 
 // tracebackBench times the same workload score-only and with the
@@ -342,8 +455,9 @@ func VerifyEngineJSON(data []byte) error {
 	if res.Schema != EngineBenchSchema {
 		return fmt.Errorf("bench: engine JSON schema %q, want %q (regenerate with benchtables -json)", res.Schema, EngineBenchSchema)
 	}
-	if len(res.Variants) == 0 || len(res.Engine) == 0 || res.Dedup == nil || res.Traceback == nil {
-		return fmt.Errorf("bench: engine JSON is missing sections (variants/engine/dedup/traceback)")
+	if len(res.Variants) == 0 || len(res.Engine) == 0 || res.Dedup == nil ||
+		res.Traceback == nil || res.Faults == nil {
+		return fmt.Errorf("bench: engine JSON is missing sections (variants/engine/dedup/traceback/faults)")
 	}
 	return nil
 }
@@ -396,6 +510,16 @@ func EngineExp(opt Options) error {
 			tb.PeakTracebackBytes, tb.TracebackBytes)
 		tt.AddNote("peak trace is per extension, bounded by the live-window band (2 bits/cell)")
 		tt.Render(opt.W)
+	}
+	if fl := res.Faults; fl != nil {
+		ft := metrics.NewTable("Engine — throughput under injected transient faults (retries on)",
+			"fault rate", "jobs", "jobs/s", "Mcells/s", "retries", "injected")
+		for _, r := range fl.Rates {
+			ft.AddRow(metrics.Percent(r.Rate*100), fl.Jobs, r.JobsPerSec,
+				r.McellsPerSec, r.Retries, r.FaultsInjected)
+		}
+		ft.AddNote("every job verified bit-identical to the fault-free run; retries ride WithRetry(8, 0)")
+		ft.Render(opt.W)
 	}
 	return nil
 }

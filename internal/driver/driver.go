@@ -76,6 +76,16 @@ type Config struct {
 	// never serves CIGAR-less entries to a traceback-enabled run (or vice
 	// versa). Off, reports are bit-identical to the score-only stack.
 	Traceback bool
+	// Faults, when non-nil, installs deterministic fault injection at the
+	// ExecBatch boundary: transient and permanent execution failures plus
+	// straggler latency, decided per (batch, attempt) from the plan's
+	// seed. Injection can fail or delay an execution but never alter a
+	// delivered result, so it is excluded from KernelFingerprint and a
+	// shared result cache stays sound across faulty and clean runs
+	// (degraded Failed placeholders are additionally never cached). Nil
+	// injects nothing — the default path is byte-for-byte the seed
+	// behaviour.
+	Faults *FaultPlan
 }
 
 // CacheKey is the full identity a cached extension result depends on:
@@ -190,6 +200,8 @@ type Plan struct {
 	// traceback accounting
 	peakTraceBytes int
 	traceBytes     int64
+	// degraded completion accounting
+	partialFailures int
 }
 
 type batchTiming struct {
@@ -257,6 +269,12 @@ type Report struct {
 	// over every executed extension.
 	PeakTracebackBytes int
 	TracebackBytes     int64
+	// PartialFailures counts comparisons that completed with a Failed
+	// placeholder instead of an alignment — quarantined work the engine's
+	// degraded partial-failure mode chose to report rather than retry
+	// forever. Zero on any non-degraded run; Results entries with Failed
+	// set carry no scores or coordinates.
+	PartialFailures int
 }
 
 // GCUPS returns the paper's metric over the chosen time base.
@@ -575,9 +593,57 @@ func (bp *BatchPlan) KernelConfig(poolWorkers int) ipukernel.Config {
 // ExecBatch runs batch i on dev. Batches are independent (disjoint
 // comparisons, no shared device state that affects results), so any
 // executor may run any subset in any order; per-batch results are
-// deterministic.
+// deterministic. It is attempt 0 of ExecBatchAttempt — the path every
+// pre-fault-tolerance caller keeps.
 func (bp *BatchPlan) ExecBatch(dev *ipu.Device, i int, kcfg ipukernel.Config) (*ipukernel.BatchResult, error) {
+	return bp.ExecBatchAttempt(dev, i, 0, kcfg)
+}
+
+// ExecBatchAttempt runs one attempt of batch i on dev, consulting the
+// configured fault plan first: an injected transient or permanent fault
+// returns a *FaultError without touching the device, and a straggler
+// decision delays the (otherwise normal) execution. attempt numbers
+// re-executions of the same batch — retries and hedges — so a seeded
+// plan's schedule is reproducible per execution, not just per batch.
+// Whenever an attempt returns a result, it is bit-identical to every
+// other attempt's: injection can only fail or delay, never corrupt.
+func (bp *BatchPlan) ExecBatchAttempt(dev *ipu.Device, i, attempt int, kcfg ipukernel.Config) (*ipukernel.BatchResult, error) {
+	if f := bp.cfg.Faults; f != nil {
+		if err := f.inject(i, attempt); err != nil {
+			return nil, err
+		}
+	}
 	return ipukernel.Run(dev, bp.batches[i], kcfg)
+}
+
+// ExecBatchHost runs batch i through the reference host path: the same
+// deterministic extension implementation (internal/core) the tile
+// codelet wraps, executed on a private device outside the shared fleet
+// and outside any installed fault plan. It is the graceful-degradation
+// escape hatch for quarantined batches — per-comparison results are
+// bit-identical to fleet execution by the determinism invariant, and the
+// modeled accounting describes the same deterministic superstep, so a
+// report assembled from any mix of fleet and host executions is
+// bit-identical to the fault-free run.
+func (bp *BatchPlan) ExecBatchHost(i int, kcfg ipukernel.Config) (*ipukernel.BatchResult, error) {
+	return ipukernel.Run(bp.NewDevice(), bp.batches[i], kcfg)
+}
+
+// FailedBatchResult synthesizes batch i's degraded outcome: one Failed
+// placeholder per comparison (GlobalID preserved, everything else zero)
+// and no modeled work. It is what the engine delivers for a quarantined
+// batch completing in partial-failure mode; AssemblePlan fans the
+// placeholders out like any result and counts them in
+// Report.PartialFailures.
+func (bp *BatchPlan) FailedBatchResult(i int) *ipukernel.BatchResult {
+	b := bp.batches[i]
+	res := &ipukernel.BatchResult{Out: make([]ipukernel.AlignOut, 0, len(b.Tiles))}
+	for ti := range b.Tiles {
+		for _, job := range b.Tiles[ti].Jobs {
+			res.Out = append(res.Out, ipukernel.AlignOut{GlobalID: job.GlobalID, Failed: true})
+		}
+	}
+	return res
 }
 
 // AssemblePlan merges executed batch results into a replayable Plan. The
@@ -681,12 +747,20 @@ func AssemblePlan(bp *BatchPlan, outs []*ipukernel.BatchResult) (*Plan, error) {
 		}
 		if bp.cfg.Cache != nil {
 			for uid, ok := range bp.hasKey {
-				if ok && have[uid] {
+				// Failed placeholders are degraded bookkeeping, not
+				// alignments: caching one would serve a fault's shadow to
+				// a later (possibly fault-free) job.
+				if ok && have[uid] && !uniqueOut[uid].Failed {
 					o := uniqueOut[uid]
 					o.GlobalID = -1
 					bp.cfg.Cache.Put(bp.keys[uid], o)
 				}
 			}
+		}
+	}
+	for i := range p.results {
+		if p.results[i].Failed {
+			p.partialFailures++
 		}
 	}
 	return p, nil
@@ -780,6 +854,7 @@ func (p *Plan) Schedule(ipus int) *Report {
 		SkippedTheoreticalCells: p.skippedCells,
 		PeakTracebackBytes:      p.peakTraceBytes,
 		TracebackBytes:          p.traceBytes,
+		PartialFailures:         p.partialFailures,
 	}
 	overhead := p.cfg.BatchOverheadSeconds
 	if overhead <= 0 {

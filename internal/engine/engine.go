@@ -22,8 +22,10 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/sram-align/xdropipu/internal/driver"
 	"github.com/sram-align/xdropipu/internal/ipu"
@@ -35,9 +37,50 @@ import (
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("engine: closed")
 
+// ErrDeadline settles a job whose WithJobDeadline expired in the default
+// (fail) degraded mode. It wraps context.DeadlineExceeded, so
+// errors.Is(err, context.DeadlineExceeded) holds.
+var ErrDeadline = fmt.Errorf("engine: job deadline exceeded: %w", context.DeadlineExceeded)
+
 // DefaultQueueDepth bounds in-flight submissions when WithQueueDepth is
 // not given.
 const DefaultQueueDepth = 16
+
+// DegradedMode selects what the engine does with a batch that exhausted
+// its fault tolerance (permanent fault, retry budget spent, or a job
+// deadline expiring with work outstanding).
+type DegradedMode uint8
+
+const (
+	// DegradeFail fails the whole job with the batch's error — the
+	// pre-fault-tolerance behaviour, and the default.
+	DegradeFail DegradedMode = iota
+	// DegradeFallback quarantines the batch off the (faulty) fleet and
+	// re-runs it through the reference host path
+	// (driver.BatchPlan.ExecBatchHost). Results are bit-identical to
+	// fault-free fleet execution, so the job's report is unchanged; only
+	// Stats.Quarantined records the detour. Should the host path itself
+	// fail (a deterministic execution error no re-run fixes), the batch
+	// completes with Failed placeholders as in DegradePartial.
+	DegradeFallback
+	// DegradePartial completes the batch with one Failed placeholder per
+	// comparison: the job finishes, Report.PartialFailures counts the
+	// casualties, and each affected Results entry has Failed set.
+	DegradePartial
+)
+
+// String names the mode.
+func (m DegradedMode) String() string {
+	switch m {
+	case DegradeFail:
+		return "fail"
+	case DegradeFallback:
+		return "fallback"
+	case DegradePartial:
+		return "partial"
+	}
+	return fmt.Sprintf("DegradedMode(%d)", uint8(m))
+}
 
 // Engine is a persistent asynchronous alignment service over the modeled
 // device fleet.
@@ -48,9 +91,18 @@ type Engine struct {
 	cacheEntries int
 	cache        *resultCache
 
+	// Fault-tolerance policy, fixed at construction.
+	retryMax    int           // max retries per batch (0 = retries off)
+	retryBudget int           // per-job retry cap (0 = uncapped)
+	backoffBase time.Duration // first retry delay
+	backoffCap  time.Duration // backoff ceiling
+	deadline    time.Duration // per-job wall-clock deadline (0 = none)
+	hedgeWindow time.Duration // hedging opens this long before the deadline
+	degraded    DegradedMode
+
 	mu     sync.Mutex
 	cond   *sync.Cond
-	active []*Job // built, unfinished jobs with batches left to issue
+	active []*Job // built, unfinished jobs with work left to issue or hedge
 	live   int    // admitted jobs not yet finished
 	busy   int    // executors currently running a batch
 	closed bool
@@ -60,6 +112,10 @@ type Engine struct {
 	doneJobs    int64
 	doneBatches int64
 	doneCells   int64
+	stRetries   int64
+	stHedges    int64
+	stQuarant   int64
+	stDeadline  int64
 
 	closedCh  chan struct{}
 	slots     chan struct{} // admission tokens, cap queueDepth
@@ -136,6 +192,60 @@ func WithResultCache(entries int) Option {
 // traceback flag so score-only and traceback runs never share entries.
 func WithTraceback(on bool) Option { return func(e *Engine) { e.cfg.Traceback = on } }
 
+// WithRetry enables per-batch retry of transient execution failures:
+// a batch whose attempt fails with a transient fault (a fault plan's
+// FaultTransient, the only error class a re-execution can outrun) is
+// re-issued after capped exponential backoff with deterministic jitter,
+// up to max retries per batch and budget retries per job (budget <= 0 is
+// uncapped). Retrying is provably safe here: batches are idempotent and
+// every attempt's results are bit-identical, so the surviving report
+// never depends on which attempt delivered — and under WithResultCache a
+// retried batch's unique extensions may even return warm. Retries and
+// injected faults surface in Stats.
+func WithRetry(max, budget int) Option {
+	return func(e *Engine) { e.retryMax, e.retryBudget = max, budget }
+}
+
+// WithRetryBackoff shapes the retry delay: the nth retry of a batch
+// waits base·2ⁿ⁻¹ capped at ceil, plus a small deterministic jitter so
+// simultaneous failures do not re-dogpile the fleet. Zero values keep
+// the defaults (1ms base, 250ms ceiling). Backoff affects wall time
+// only, never results.
+func WithRetryBackoff(base, ceil time.Duration) Option {
+	return func(e *Engine) { e.backoffBase, e.backoffCap = base, ceil }
+}
+
+// WithJobDeadline bounds every submission's wall-clock completion time.
+// In the final fifth of the deadline, idle executors hedge: the slowest
+// outstanding batch is duplicated onto a second device and the first
+// result wins — safe because both executions are bit-identical by
+// construction. A job still incomplete at the deadline counts in
+// Stats.DeadlineExceeded and settles per WithDegradedMode: fail (the
+// default, with ErrDeadline), fallback (remaining batches quarantined to
+// the reference host path, full report), or partial (remaining batches
+// complete as Failed placeholders).
+func WithJobDeadline(d time.Duration) Option {
+	return func(e *Engine) { e.deadline = d }
+}
+
+// WithDegradedMode selects how a batch that exhausted its fault
+// tolerance completes: fail the job (DegradeFail, default), re-run the
+// batch on the reference host path for a still-bit-identical report
+// (DegradeFallback), or finish with per-comparison Failed status and
+// Report.PartialFailures (DegradePartial).
+func WithDegradedMode(m DegradedMode) Option {
+	return func(e *Engine) { e.degraded = m }
+}
+
+// WithFaultPlan installs seeded, deterministic fault injection at the
+// batch-execution boundary for every job the engine serves — the chaos
+// substrate behind the retry/hedge/degradation machinery. Injected
+// faults fail or delay executions but never change delivered results;
+// Stats.FaultsInjected counts them.
+func WithFaultPlan(p *driver.FaultPlan) Option {
+	return func(e *Engine) { e.cfg.Faults = p }
+}
+
 // WithQueueDepth bounds in-flight submissions; Submit blocks (or fails
 // on context cancellation) once the queue is full.
 func WithQueueDepth(n int) Option { return func(e *Engine) { e.queueDepth = n } }
@@ -175,6 +285,24 @@ func (e *Engine) normalize() {
 	if e.executors <= 0 {
 		e.executors = runtime.GOMAXPROCS(0)
 	}
+	if e.retryMax < 0 {
+		e.retryMax = 0
+	}
+	if e.backoffBase <= 0 {
+		e.backoffBase = time.Millisecond
+	}
+	if e.backoffCap <= 0 {
+		e.backoffCap = 250 * time.Millisecond
+	}
+	if e.backoffCap < e.backoffBase {
+		e.backoffCap = e.backoffBase
+	}
+	if e.deadline > 0 {
+		// Hedging opens in the deadline's final fifth: late enough that
+		// healthy batches finish undoubled, early enough that a duplicate
+		// still has time to win.
+		e.hedgeWindow = e.deadline / 5
+	}
 }
 
 // Config returns the normalized driver configuration the fleet runs.
@@ -198,18 +326,44 @@ type Stats struct {
 	// per entry; with traceback enabled entries carry alignment-length
 	// CIGARs, and this is where that growth shows up.
 	CacheBytes int64
+	// Retries counts batch re-executions scheduled after transient
+	// failures (WithRetry).
+	Retries int64
+	// Hedges counts duplicate executions issued for slow outstanding
+	// batches near a job deadline (WithJobDeadline); the losing copy of a
+	// hedged pair is dropped on delivery and never double-counts
+	// BatchesDone or a stream.
+	Hedges int64
+	// Quarantined counts batches that exhausted their fault tolerance and
+	// completed degraded — re-run on the reference host path
+	// (DegradeFallback) or as Failed placeholders (DegradePartial).
+	Quarantined int64
+	// FaultsInjected counts everything the installed FaultPlan injected
+	// across its lifetime: transient and permanent failures plus
+	// straggler delays. Zero without WithFaultPlan.
+	FaultsInjected int64
+	// DeadlineExceeded counts jobs whose WithJobDeadline expired with
+	// work outstanding.
+	DeadlineExceeded int64
 }
 
 // Stats returns engine-lifetime counters.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	st := Stats{
-		JobsDone:    e.doneJobs,
-		BatchesDone: e.doneBatches,
-		CellsDone:   e.doneCells,
-		JobsLive:    e.live,
+		JobsDone:         e.doneJobs,
+		BatchesDone:      e.doneBatches,
+		CellsDone:        e.doneCells,
+		JobsLive:         e.live,
+		Retries:          e.stRetries,
+		Hedges:           e.stHedges,
+		Quarantined:      e.stQuarant,
+		DeadlineExceeded: e.stDeadline,
 	}
 	e.mu.Unlock()
+	if f := e.cfg.Faults; f != nil {
+		st.FaultsInjected = f.InjectedTotal()
+	}
 	if e.cache != nil {
 		st.CacheHits = e.cache.hits.Load()
 		st.CacheMisses = e.cache.misses.Load()
@@ -256,6 +410,11 @@ func (e *Engine) Submit(ctx context.Context, d *workload.Dataset) (*Job, error) 
 		dataset: d,
 		built:   make(chan struct{}),
 		doneCh:  make(chan struct{}),
+	}
+	if e.deadline > 0 {
+		// The clock starts at admission: queue wait was the caller's
+		// backpressure, planning and execution are the job's own.
+		j.deadline = time.Now().Add(e.deadline)
 	}
 	e.live++
 	e.wgJobs.Add(1)
@@ -312,16 +471,39 @@ func (e *Engine) runJob(j *Job) {
 		return
 	}
 	j.bp = bp
-	j.outs = make([]*ipukernel.BatchResult, bp.Batches())
+	nb := bp.Batches()
+	j.outs = make([]*ipukernel.BatchResult, nb)
 	j.expand = expand
 	j.cachedResults = cachedResults
+	j.attempts = make([]int32, nb)
+	j.inflight = make([]int32, nb)
+	j.hedged = make([]bool, nb)
+	j.fallback = make([]bool, nb)
+	j.queued = make([]bool, nb)
+	j.startNS = make([]int64, nb)
+	j.timers = make(map[*time.Timer]struct{})
 	close(j.built)
-	if bp.Batches() == 0 {
+	if nb == 0 {
 		e.mu.Unlock()
 		e.complete(j, bp)
 		return
 	}
-	e.active = append(e.active, j)
+	e.addActiveLocked(j)
+	if !j.deadline.IsZero() {
+		// Two alarms per deadlined job: one wakes idle executors when the
+		// hedge window opens, one settles (or degrades) the job at the
+		// deadline itself. Both are registered in j.timers so settlement
+		// stops them; a callback that already fired re-checks under the
+		// lock and becomes a no-op.
+		wake := time.AfterFunc(time.Until(j.deadline)-e.hedgeWindow, func() {
+			e.mu.Lock()
+			e.cond.Broadcast()
+			e.mu.Unlock()
+		})
+		expire := time.AfterFunc(time.Until(j.deadline), func() { e.deadlineExpired(j) })
+		j.timers[wake] = struct{}{}
+		j.timers[expire] = struct{}{}
+	}
 	e.cond.Broadcast()
 	e.mu.Unlock()
 
@@ -336,27 +518,95 @@ func (e *Engine) runJob(j *Job) {
 	}
 }
 
-// pickLocked chooses the next batch to issue: among built jobs with
-// batches left, the one with the fewest issued batches (ties broken by
+// issuableLocked reports whether the job has work an executor can take:
+// a retry ready to re-issue or a batch never issued.
+func (j *Job) issuableLocked() bool {
+	return !j.finished && (len(j.retryq) > 0 || j.nextIssue < len(j.outs))
+}
+
+// addActiveLocked (re-)registers a job with the scheduler. Jobs leave
+// the active list when drained (pruneLocked) and re-enter when a retry
+// timer fires or degradation re-queues a batch.
+func (e *Engine) addActiveLocked(j *Job) {
+	if !j.inActive && !j.finished {
+		j.inActive = true
+		e.active = append(e.active, j)
+	}
+}
+
+// pickLocked chooses the next execution to issue: among built jobs with
+// work left, the one with the fewest issued executions (ties broken by
 // submission order) — a per-job fair share that keeps a flood of batches
-// from one client from starving the rest.
-func (e *Engine) pickLocked() (*Job, int) {
+// from one client from starving the rest. Ready retries re-issue before
+// fresh batches. With nothing to issue and a job deadline configured,
+// it falls back to hedging: inside a job's hedge window the slowest
+// outstanding batch is duplicated once (first result wins), so a single
+// straggling device cannot push an otherwise-finished job past its
+// deadline. The chosen batch's issue bookkeeping (attempts, inflight,
+// start time) is updated here, under the lock, so concurrent executors
+// never double-pick.
+func (e *Engine) pickLocked() (*Job, int, bool) {
 	var best *Job
 	for _, j := range e.active {
-		if j.finished || j.nextIssue >= len(j.outs) {
+		if !j.issuableLocked() {
 			continue
 		}
-		if best == nil || j.nextIssue < best.nextIssue ||
-			(j.nextIssue == best.nextIssue && j.seq < best.seq) {
+		if best == nil || j.issued < best.issued ||
+			(j.issued == best.issued && j.seq < best.seq) {
 			best = j
 		}
 	}
-	if best == nil {
-		return nil, -1
+	if best != nil {
+		var bi int
+		if n := len(best.retryq); n > 0 {
+			bi = best.retryq[n-1]
+			best.retryq = best.retryq[:n-1]
+			best.queued[bi] = false
+		} else {
+			bi = best.nextIssue
+			best.nextIssue++
+		}
+		e.issueLocked(best, bi)
+		return best, bi, false
 	}
-	bi := best.nextIssue
-	best.nextIssue++
-	return best, bi
+	if e.deadline <= 0 {
+		return nil, -1, false
+	}
+	now := time.Now()
+	var hj *Job
+	hbi := -1
+	var earliest int64
+	for _, j := range e.active {
+		if j.finished || j.deadline.IsZero() ||
+			now.Before(j.deadline.Add(-e.hedgeWindow)) {
+			continue
+		}
+		for bi := range j.outs {
+			if j.outs[bi] != nil || j.inflight[bi] == 0 || j.hedged[bi] || j.queued[bi] {
+				continue
+			}
+			if hbi == -1 || j.startNS[bi] < earliest {
+				hj, hbi, earliest = j, bi, j.startNS[bi]
+			}
+		}
+	}
+	if hj == nil {
+		return nil, -1, false
+	}
+	hj.hedged[hbi] = true
+	e.stHedges++
+	e.issueLocked(hj, hbi)
+	return hj, hbi, true
+}
+
+// issueLocked records one execution issue of batch bi.
+func (e *Engine) issueLocked(j *Job, bi int) {
+	j.issued++
+	j.attempts[bi]++
+	j.inflight[bi]++
+	if e.deadline > 0 && j.startNS[bi] == 0 {
+		j.startNS[bi] = time.Now().UnixNano()
+	}
 }
 
 // executor is one device-executor goroutine: it owns a modeled device
@@ -372,8 +622,9 @@ func (e *Engine) executor() {
 		e.mu.Lock()
 		var j *Job
 		var bi int
+		var hedge bool
 		for {
-			j, bi = e.pickLocked()
+			j, bi, hedge = e.pickLocked()
 			if j != nil {
 				break
 			}
@@ -383,6 +634,9 @@ func (e *Engine) executor() {
 			}
 			e.cond.Wait()
 		}
+		_ = hedge // a hedge runs exactly like any other attempt
+		attempt := int(j.attempts[bi]) - 1 // issueLocked counted this issue
+		fallback := j.fallback[bi]
 		e.pruneLocked()
 		e.busy++
 		// Split the CPU budget between each batch's tile pool and the
@@ -405,28 +659,42 @@ func (e *Engine) executor() {
 		if dev == nil {
 			dev = bp.NewDevice()
 		}
-		out, err := bp.ExecBatch(dev, bi, kcfg)
-		e.deliver(j, bi, out, err)
+		var out *ipukernel.BatchResult
+		var err error
+		if fallback {
+			// Quarantined work runs on the reference host path, outside
+			// the fleet and its fault plan.
+			out, err = bp.ExecBatchHost(bi, kcfg)
+		} else {
+			out, err = bp.ExecBatchAttempt(dev, bi, attempt, kcfg)
+		}
+		e.deliver(j, bi, out, err, fallback)
 	}
 }
 
-// runnableLocked counts batches not yet handed to an executor.
+// runnableLocked counts executions not yet handed to an executor.
 func (e *Engine) runnableLocked() int {
 	n := 0
 	for _, j := range e.active {
 		if !j.finished {
-			n += len(j.outs) - j.nextIssue
+			n += len(j.outs) - j.nextIssue + len(j.retryq)
 		}
 	}
 	return n
 }
 
-// pruneLocked drops jobs with nothing left to issue from the active list.
+// pruneLocked drops jobs with nothing left to issue from the active
+// list. Jobs with a deadline stay while any batch is outstanding — they
+// are hedge candidates — and a drained job whose retry timer later fires
+// re-enters through addActiveLocked.
 func (e *Engine) pruneLocked() {
 	kept := e.active[:0]
 	for _, j := range e.active {
-		if !j.finished && j.nextIssue < len(j.outs) {
+		if j.issuableLocked() ||
+			(!j.finished && !j.deadline.IsZero() && j.done < len(j.outs)) {
 			kept = append(kept, j)
+		} else {
+			j.inActive = false
 		}
 	}
 	for i := len(kept); i < len(e.active); i++ {
@@ -437,17 +705,37 @@ func (e *Engine) pruneLocked() {
 
 // deliver records one executed batch: streams it to the job's consumer
 // and, on the last batch, assembles the plan and schedules the report.
-func (e *Engine) deliver(j *Job, bi int, out *ipukernel.BatchResult, err error) {
+// Failure classification lives here too — transient faults retry within
+// the engine's policy, everything else degrades — and hedged batches
+// settle first-result-wins: the losing copy is dropped before it can
+// touch stats, the stream or the report. wasFallback says whether the
+// execution ran on the reference host path.
+func (e *Engine) deliver(j *Job, bi int, out *ipukernel.BatchResult, err error, wasFallback bool) {
 	e.mu.Lock()
 	e.busy--
+	if !j.finished {
+		j.inflight[bi]--
+	}
 	if j.finished { // cancelled or failed while this batch ran
 		e.mu.Unlock()
 		return
 	}
-	if err != nil {
-		e.finishLocked(j, nil, err)
+	if j.outs[bi] != nil { // a hedged twin already delivered this batch
 		e.mu.Unlock()
 		return
+	}
+	if err != nil {
+		if j.inflight[bi] > 0 {
+			// A twin of this batch is still running (hedge or stale
+			// fleet copy behind a quarantine); let it decide the batch.
+			e.mu.Unlock()
+			return
+		}
+		out = e.failedLocked(j, bi, err, wasFallback)
+		if out == nil { // retried, re-queued, or job failed: nothing to record
+			e.mu.Unlock()
+			return
+		}
 	}
 	// Copy the streamed view outside the lock when a consumer is
 	// already attached — the O(batch-results) copy must not serialize
@@ -462,6 +750,10 @@ func (e *Engine) deliver(j *Job, bi int, out *ipukernel.BatchResult, err error) 
 	}
 	e.mu.Lock()
 	if j.finished { // cancelled while copying
+		e.mu.Unlock()
+		return
+	}
+	if j.outs[bi] != nil { // a hedged twin delivered during the copy
 		e.mu.Unlock()
 		return
 	}
@@ -480,6 +772,162 @@ func (e *Engine) deliver(j *Job, bi int, out *ipukernel.BatchResult, err error) 
 	e.mu.Unlock()
 	if last {
 		e.complete(j, bp)
+	}
+}
+
+// failedLocked classifies one failed execution of batch bi. It returns
+// a synthesized result to record (DegradePartial placeholders), or nil
+// after scheduling a retry, re-queueing the batch through the host
+// path, or failing the job.
+func (e *Engine) failedLocked(j *Job, bi int, err error, wasFallback bool) *ipukernel.BatchResult {
+	var fe *driver.FaultError
+	transient := errors.As(err, &fe) && fe.Transient()
+	if transient && !wasFallback && e.retryMax > 0 &&
+		int(j.attempts[bi])-1 < e.retryMax &&
+		(e.retryBudget <= 0 || j.retriesUsed < e.retryBudget) {
+		j.retriesUsed++
+		e.stRetries++
+		e.scheduleRetryLocked(j, bi)
+		return nil
+	}
+	// Fault tolerance exhausted: degrade per policy.
+	switch e.degraded {
+	case DegradeFallback:
+		if !wasFallback {
+			// Quarantine the batch off the fleet; its next execution
+			// runs the reference host path and is bit-identical.
+			if !j.fallback[bi] {
+				j.fallback[bi] = true
+				e.stQuarant++
+			}
+			e.requeueLocked(j, bi)
+			return nil
+		}
+		// The reference path itself failed — deterministic, so no
+		// re-run fixes it. Complete the batch with placeholders.
+		return j.bp.FailedBatchResult(bi)
+	case DegradePartial:
+		e.stQuarant++
+		return j.bp.FailedBatchResult(bi)
+	}
+	e.finishLocked(j, nil, err)
+	return nil
+}
+
+// scheduleRetryLocked arms the backoff timer for batch bi's next
+// attempt. The timer is created while the engine lock is held, so its
+// callback (which takes the lock) cannot run before it is registered in
+// j.timers; a callback whose job settled, whose batch delivered (hedge
+// win), or whose batch is already queued becomes a no-op.
+func (e *Engine) scheduleRetryLocked(j *Job, bi int) {
+	var t *time.Timer
+	t = time.AfterFunc(e.backoffFor(j, bi, int(j.attempts[bi])), func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		delete(j.timers, t) // nil-map delete after settlement is a no-op
+		if j.finished || j.outs[bi] != nil || j.queued[bi] {
+			return
+		}
+		j.queued[bi] = true
+		j.retryq = append(j.retryq, bi)
+		e.addActiveLocked(j)
+		e.cond.Broadcast()
+	})
+	j.timers[t] = struct{}{}
+}
+
+// requeueLocked puts batch bi back on the job's ready queue (no
+// backoff) and wakes executors.
+func (e *Engine) requeueLocked(j *Job, bi int) {
+	if !j.queued[bi] && j.outs[bi] == nil {
+		j.queued[bi] = true
+		j.retryq = append(j.retryq, bi)
+	}
+	e.addActiveLocked(j)
+	e.cond.Broadcast()
+}
+
+// backoffFor shapes the delay before batch bi's next attempt:
+// exponential from the base, capped at the ceiling, plus deterministic
+// jitter (up to half the step, hashed from job, batch and attempt) so
+// a burst of simultaneous failures does not re-dogpile the fleet in
+// lockstep. Deterministic jitter keeps chaos runs reproducible.
+func (e *Engine) backoffFor(j *Job, bi, attempt int) time.Duration {
+	d := e.backoffBase
+	for i := 1; i < attempt && d < e.backoffCap; i++ {
+		d *= 2
+	}
+	if d > e.backoffCap {
+		d = e.backoffCap
+	}
+	h := uint64(j.seq)*0x9e3779b97f4a7c15 ^
+		uint64(int64(bi))*0xbf58476d1ce4e5b9 ^
+		uint64(int64(attempt))*0x94d049bb133111eb
+	h ^= h >> 33
+	return d + time.Duration(h%uint64(d/2+1))
+}
+
+// deadlineExpired is the deadline timer's callback: a job still
+// incomplete when it fires counts in Stats.DeadlineExceeded and settles
+// per the engine's DegradedMode — fail with ErrDeadline, quarantine all
+// remaining work to the reference host path, or complete immediately
+// with Failed placeholders. Timers arm only after the plan is built, so
+// j.outs is always populated here.
+func (e *Engine) deadlineExpired(j *Job) {
+	e.mu.Lock()
+	if j.finished || j.done == len(j.outs) {
+		e.mu.Unlock()
+		return
+	}
+	e.stDeadline++
+	switch e.degraded {
+	case DegradeFallback:
+		// Stop issuing fresh fleet executions and quarantine everything
+		// undelivered to the host path. In-flight fleet copies keep
+		// running — whichever execution delivers first wins.
+		j.nextIssue = len(j.outs)
+		n := 0
+		for bi := range j.outs {
+			if j.outs[bi] != nil || j.fallback[bi] {
+				continue
+			}
+			j.fallback[bi] = true
+			n++
+			if !j.queued[bi] {
+				j.queued[bi] = true
+				j.retryq = append(j.retryq, bi)
+			}
+		}
+		e.stQuarant += int64(n)
+		if n > 0 {
+			e.addActiveLocked(j)
+			e.cond.Broadcast()
+		}
+		e.mu.Unlock()
+	case DegradePartial:
+		// Complete every undelivered batch with placeholders right now;
+		// late in-flight deliveries find outs[bi] set and drop.
+		bp := j.bp
+		j.nextIssue = len(j.outs)
+		j.retryq = nil
+		for bi := range j.outs {
+			if j.outs[bi] != nil {
+				continue
+			}
+			out := bp.FailedBatchResult(bi)
+			j.outs[bi] = out
+			j.done++
+			e.doneBatches++
+			e.stQuarant++
+			if j.streaming {
+				j.updates <- streamUpdate(j, bi, out)
+			}
+		}
+		e.mu.Unlock()
+		e.complete(j, bp)
+	default:
+		e.finishLocked(j, nil, ErrDeadline)
+		e.mu.Unlock()
 	}
 }
 
@@ -563,6 +1011,14 @@ func (e *Engine) finishLocked(j *Job, rep *driver.Report, err error) {
 	j.finished = true
 	j.report = rep
 	j.err = err
+	// Stop pending backoff/deadline timers and drop queued retries; a
+	// timer callback that already fired re-checks finished under the
+	// lock and no-ops.
+	for t := range j.timers {
+		t.Stop()
+	}
+	j.timers = nil
+	j.retryq = nil
 	if j.streaming {
 		close(j.updates)
 		j.streaming = false

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"time"
 
 	"github.com/sram-align/xdropipu/internal/driver"
 	"github.com/sram-align/xdropipu/internal/ipukernel"
@@ -28,16 +29,41 @@ type Job struct {
 	expand        func([]ipukernel.AlignOut) []ipukernel.AlignOut
 	cachedResults []ipukernel.AlignOut
 
+	// deadline is the job's wall-clock completion deadline (zero when the
+	// engine runs without WithJobDeadline). Set before the job is
+	// registered and immutable afterwards.
+	deadline time.Time
+
 	// All fields below are guarded by eng.mu.
 	bp        *driver.BatchPlan
 	updates   chan Update
 	streaming bool // updates is open
-	nextIssue int  // batches handed to executors
-	done      int  // batches delivered
+	nextIssue int  // batches handed to executors for the first time
+	issued    int  // executions issued (first issues + retries + hedges): the fair-share key
+	done      int  // batches delivered (first accepted result per batch)
 	outs      []*ipukernel.BatchResult
 	finished  bool
 	report    *driver.Report
 	err       error
+	inActive  bool // job is in eng.active
+
+	// Fault-tolerance state, per batch unless noted. attempts counts
+	// executions issued (so the next execution's attempt number is
+	// attempts[bi]); inflight counts executions currently running; hedged
+	// marks batches already duplicated near the deadline; fallback routes
+	// a batch's next execution through the reference host path; queued
+	// marks batches sitting in retryq. retriesUsed draws down the per-job
+	// retry budget; timers holds pending backoff timers so settlement can
+	// stop them.
+	attempts    []int32
+	inflight    []int32
+	hedged      []bool
+	fallback    []bool
+	queued      []bool
+	startNS     []int64 // earliest in-flight start, for slowest-batch hedging
+	retryq      []int   // batch indices ready to re-issue
+	retriesUsed int
+	timers      map[*time.Timer]struct{}
 }
 
 // Update is one executed batch of a job, streamed in completion order.
@@ -51,7 +77,9 @@ type Update struct {
 	// submitted dataset's comparison list. With dedup enabled a batch
 	// executes unique extensions only, but the stream still carries one
 	// entry per submitted comparison: duplicates arrive alongside their
-	// representative, bit-identical except for GlobalID.
+	// representative, bit-identical except for GlobalID. Under
+	// WithDegradedMode(DegradePartial) a quarantined batch streams Failed
+	// placeholders instead of alignments (check AlignOut.Failed).
 	Results []ipukernel.AlignOut
 	// Seconds is the batch's modeled on-device compute time (0 for the
 	// cache-served update).

@@ -267,6 +267,14 @@ type AlignOut struct {
 	MaxLiveBand int
 	// Clamped reports a δb clamp in either extension.
 	Clamped bool
+	// Failed marks a comparison whose batch exhausted the engine's fault
+	// tolerance and completed as a degraded placeholder instead of an
+	// alignment: GlobalID is valid, every score, coordinate and trace
+	// field is zero. The kernel never sets it — it exists so degraded
+	// per-comparison status can ride the same result plumbing (fan-out,
+	// streaming, reports) as real alignments. Counted in
+	// driver.Report.PartialFailures; never stored in a result cache.
+	Failed bool
 	// Cigar is the comparison's full edit script (left extension + seed
 	// columns + right extension) over [BegH,EndH)×[BegV,EndV). Empty
 	// unless Config.Traceback is set. Being a validated string it is

@@ -272,6 +272,11 @@ type Alignment struct {
 	// empty unless the backend ran with traceback enabled. Identity and
 	// aligned spans derive from it (alignment.Cigar methods).
 	Cigar alignment.Cigar
+	// Failed marks a comparison whose batch exhausted the engine's
+	// fault tolerance and completed as a degraded placeholder
+	// (DegradePartial): Score, spans and Cigar are zero. Backends
+	// without fault injection never set it.
+	Failed bool
 }
 
 // SpanH returns the aligned length on H.

@@ -222,6 +222,61 @@ type (
 	EngineStats = engine.Stats
 )
 
+// Fault tolerance.
+type (
+	// FaultPlan injects deterministic, seeded faults at the batch
+	// execution boundary — the chaos substrate behind the engine's
+	// retry/hedge/degradation machinery. Build one with NewFaultPlan and
+	// install it with WithFaultPlan (or IPUConfig.Faults).
+	FaultPlan = driver.FaultPlan
+	// FaultSpec sets a fault plan's injection rates (transient,
+	// permanent, straggler) and straggler delay.
+	FaultSpec = driver.FaultSpec
+	// FaultError is the error an injected fault raises for a failed
+	// batch execution; classify it with errors.As and Transient.
+	FaultError = driver.FaultError
+	// FaultKind classifies one injected fault.
+	FaultKind = driver.FaultKind
+	// DegradedMode selects what the engine does with a batch that
+	// exhausted its fault tolerance (see WithDegradedMode).
+	DegradedMode = engine.DegradedMode
+)
+
+// Fault kinds.
+const (
+	// FaultNone leaves an execution untouched.
+	FaultNone = driver.FaultNone
+	// FaultTransient fails one attempt; a retry can succeed.
+	FaultTransient = driver.FaultTransient
+	// FaultPermanent fails every attempt of a batch.
+	FaultPermanent = driver.FaultPermanent
+	// FaultStraggler delays an execution without failing it.
+	FaultStraggler = driver.FaultStraggler
+)
+
+// Degraded modes.
+const (
+	// DegradeFail fails the whole job with the batch's error (default).
+	DegradeFail = engine.DegradeFail
+	// DegradeFallback re-runs exhausted batches on the reference host
+	// path; the report stays bit-identical to fault-free execution.
+	DegradeFallback = engine.DegradeFallback
+	// DegradePartial completes exhausted batches as Failed placeholders
+	// and counts them in IPUReport.PartialFailures.
+	DegradePartial = engine.DegradePartial
+)
+
+// NewFaultPlan returns a seeded fault plan; the zero spec injects
+// nothing. Decisions are a pure function of (seed, batch, attempt), so
+// a plan replays identically run after run.
+func NewFaultPlan(seed int64, spec FaultSpec) *FaultPlan {
+	return driver.NewFaultPlan(seed, spec)
+}
+
+// ErrJobDeadline settles a job whose WithJobDeadline expired under
+// DegradeFail; it wraps context.DeadlineExceeded.
+var ErrJobDeadline = engine.ErrDeadline
+
 // ErrEngineClosed is returned by Engine.Submit after Close.
 var ErrEngineClosed = engine.ErrClosed
 
@@ -253,6 +308,23 @@ var (
 	// WithTraceback enables CIGAR emission for every job: results carry
 	// their edit scripts and reports expose peak traceback memory.
 	WithTraceback = engine.WithTraceback
+	// WithRetry re-issues batches whose execution failed transiently,
+	// with capped exponential backoff: max retries per batch, budget
+	// retries per job (0 = uncapped).
+	WithRetry = engine.WithRetry
+	// WithRetryBackoff shapes the retry delay (base, ceiling).
+	WithRetryBackoff = engine.WithRetryBackoff
+	// WithJobDeadline bounds every submission's wall-clock completion;
+	// near the deadline idle executors hedge the slowest outstanding
+	// batch (first result wins), and an expired job settles per
+	// WithDegradedMode.
+	WithJobDeadline = engine.WithJobDeadline
+	// WithDegradedMode selects how exhausted batches complete:
+	// DegradeFail, DegradeFallback or DegradePartial.
+	WithDegradedMode = engine.WithDegradedMode
+	// WithFaultPlan installs seeded fault injection at the batch
+	// execution boundary (chaos testing; see NewFaultPlan).
+	WithFaultPlan = engine.WithFaultPlan
 	// WithQueueDepth bounds in-flight submissions (backpressure).
 	WithQueueDepth = engine.WithQueueDepth
 	// WithExecutors sets the host-side executor pool width.
