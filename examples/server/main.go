@@ -1,63 +1,92 @@
-// Server: the engine as a persistent alignment service. One engine owns
-// a four-IPU fleet; several concurrent clients submit their own
-// workloads, one streams results batch by batch, and one cancels its
-// submission mid-flight — the rest are unaffected. This is the ipuma-lib
-// usage pattern (create_batches → async_submit → blocking_join) that
-// keeps the fleet saturated while hosts keep producing work.
+// Server: the alignment system as a real networked service. The process
+// boots the multi-tenant HTTP front-end on a loopback listener — a pool
+// of engine shards behind POST /v1/jobs — and drives it with wire
+// clients exactly the way remote tenants would: concurrent submissions
+// from different tenants, one client streaming results batch by batch,
+// one cancelling mid-stream, and a pipeline re-emitting a duplicate
+// workload that the content-affinity routing lands on the same shard's
+// warm result cache. The reports the clients assemble from the NDJSON
+// streams are bit-identical to what an in-process Engine.Submit would
+// have returned; the wire adds distribution, not drift.
 //
-// The engine also runs with a cross-job result cache (WithResultCache):
-// after the concurrent wave, a pipeline re-emits client 0's candidate
-// set — the duplicate-heavy traffic ELBA-style pipelines generate — and
-// the repeat job is served entirely from the cache, executing zero
-// batches; the lifetime stats at the end show the hits.
+// At the end the example scrapes GET /v1/stats and GET /v1/metrics —
+// the JSON snapshot an autoscaler would watch and the Prometheus
+// exposition a monitoring stack would collect.
 package main
 
 import (
+	"bufio"
 	"context"
 	"fmt"
+	"net"
+	"net/http"
+	"strings"
 	"sync"
+	"time"
 
 	"github.com/sram-align/xdropipu"
 	"github.com/sram-align/xdropipu/internal/synth"
 )
 
+func clientData(client int) *xdropipu.Dataset {
+	return synth.Reads(synth.ReadsSpec{
+		Name: fmt.Sprintf("client-%d", client), GenomeLen: 60_000,
+		Coverage: 8, MeanReadLen: 1200, MinReadLen: 400, MaxReadLen: 2400,
+		Errors: synth.UniformDNA(0.05), SeedLen: 17, MinOverlap: 300,
+		Seed: int64(100 + client),
+	})
+}
+
 func main() {
-	eng := xdropipu.NewEngine(
-		xdropipu.WithIPUs(4),
-		xdropipu.WithModel(xdropipu.GC200),
-		xdropipu.WithTilesPerIPU(8), // scaled-down demo device
-		xdropipu.WithPartition(true),
-		xdropipu.WithKernel(xdropipu.KernelConfig{
-			Params: xdropipu.Params{
-				Scorer: xdropipu.DNAScorer, Gap: -1, X: 15, DeltaB: 256,
-			},
-			LRSplit: true, WorkStealing: true, BusyWaitVariance: true, DualIssue: true,
-		}),
-		xdropipu.WithQueueDepth(8),
-		// Finer batches deepen the shared work queue: jobs interleave on
-		// the fleet and streaming consumers see steady progress.
-		xdropipu.WithMaxBatchJobs(600),
-		// Memoise finished extensions across jobs: byte-identical
-		// (pair, seed) work submitted by any client is aligned once.
-		xdropipu.WithResultCache(1<<16),
-	)
-	defer eng.Close()
+	// The service: two engine shards, each a scaled-down four-IPU fleet
+	// with a cross-job result cache. Content-affinity routing sends
+	// identical workloads to the same shard, so caches stay warm per
+	// shard instead of being diluted across the pool.
+	svc := xdropipu.NewService(xdropipu.ServiceConfig{
+		Shards: 2,
+		EngineOptions: []xdropipu.EngineOption{
+			xdropipu.WithIPUs(4),
+			xdropipu.WithModel(xdropipu.GC200),
+			xdropipu.WithTilesPerIPU(8), // scaled-down demo device
+			xdropipu.WithPartition(true),
+			xdropipu.WithKernel(xdropipu.KernelConfig{
+				Params: xdropipu.Params{
+					Scorer: xdropipu.DNAScorer, Gap: -1, X: 15, DeltaB: 256,
+				},
+				LRSplit: true, WorkStealing: true, BusyWaitVariance: true, DualIssue: true,
+			}),
+			xdropipu.WithQueueDepth(8),
+			// Finer batches deepen the stream: consumers see steady
+			// chunk-by-chunk progress over the wire.
+			xdropipu.WithMaxBatchJobs(600),
+			xdropipu.WithResultCache(1 << 16),
+		},
+	})
+	defer svc.Close()
+
+	// A real listener, a real http.Server: this is the same path
+	// `xdropipu serve` takes, minus the flags.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Println("listen:", err)
+		return
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	defer srv.Shutdown(context.Background())
+	base := "http://" + ln.Addr().String()
+	fmt.Println("service listening on", base)
 
 	var wg sync.WaitGroup
 	for client := 0; client < 4; client++ {
 		wg.Add(1)
 		go func(client int) {
 			defer wg.Done()
-			d := synth.Reads(synth.ReadsSpec{
-				Name: fmt.Sprintf("client-%d", client), GenomeLen: 60_000,
-				Coverage: 8, MeanReadLen: 1200, MinReadLen: 400, MaxReadLen: 2400,
-				Errors: synth.UniformDNA(0.05), SeedLen: 17, MinOverlap: 300,
-				Seed: int64(100 + client),
-			})
+			c := xdropipu.NewServiceClient(base,
+				xdropipu.WithServiceTenant(fmt.Sprintf("tenant-%d", client)))
+			d := clientData(client)
 
-			ctx, cancel := context.WithCancel(context.Background())
-			defer cancel()
-			job, err := eng.Submit(ctx, d)
+			job, err := c.Submit(context.Background(), d)
 			if err != nil {
 				fmt.Printf("client %d: submit failed: %v\n", client, err)
 				return
@@ -65,19 +94,22 @@ func main() {
 
 			switch client {
 			case 2:
-				// This client changes its mind: cancel while queued or
-				// running. The engine keeps serving everyone else.
-				cancel()
+				// This client changes its mind mid-stream: DELETE the job
+				// after the first chunk. The shard drops its remaining
+				// batches; everyone else is unaffected.
+				<-job.Results() // first chunk arrived — the job is live
+				if err := job.Cancel(context.Background()); err != nil {
+					fmt.Printf("client %d: cancel failed: %v\n", client, err)
+					return
+				}
 				if _, err := job.Wait(context.Background()); err != nil {
-					fmt.Printf("client %d: cancelled: %v\n", client, err)
+					fmt.Printf("client %d: cancelled mid-stream: %v\n", client, err)
 					return
 				}
 				fmt.Printf("client %d: finished before the cancel landed\n", client)
 			case 3:
-				// This client streams: results arrive batch by batch (in
-				// completion order) while the fleet works on the rest.
-				// Batch == -1 carries results another job already paid
-				// for — the result cache's share arrives up front.
+				// This client consumes the NDJSON stream chunk by chunk —
+				// the same Update values an in-process Results() yields.
 				results, batches := 0, 0
 				for u := range job.Results() {
 					results += len(u.Results)
@@ -87,7 +119,7 @@ func main() {
 						continue
 					}
 					batches++
-					fmt.Printf("client %d: batch %d/%d (+%d alignments, %d total)\n",
+					fmt.Printf("client %d: chunk %d/%d (+%d alignments, %d total)\n",
 						client, batches, u.Batches, len(u.Results), results)
 				}
 				rep, err := job.Wait(context.Background())
@@ -98,7 +130,7 @@ func main() {
 				fmt.Printf("client %d: streamed %d alignments, %.0f GCUPS\n",
 					client, len(rep.Results), rep.GCUPS(rep.DeviceComputeSeconds))
 			default:
-				// Plain asynchronous clients: submit, then block on join.
+				// Plain asynchronous tenants: submit, then block on join.
 				rep, err := job.Wait(context.Background())
 				if err != nil {
 					fmt.Printf("client %d: %v\n", client, err)
@@ -111,85 +143,53 @@ func main() {
 	}
 	wg.Wait()
 
-	// A pipeline re-emits client 0's candidate wave — the duplicate-heavy
-	// traffic pattern. The dataset is a fresh object with its own pool,
-	// but the cache keys are content-addressed, so every extension comes
-	// out of the result cache and the job executes zero batches.
-	repeat := synth.Reads(synth.ReadsSpec{
-		Name: "client-0-repeat", GenomeLen: 60_000,
-		Coverage: 8, MeanReadLen: 1200, MinReadLen: 400, MaxReadLen: 2400,
-		Errors: synth.UniformDNA(0.05), SeedLen: 17, MinOverlap: 300,
-		Seed: 100,
-	})
-	if job, err := eng.Submit(context.Background(), repeat); err == nil {
+	// A pipeline re-emits client 0's candidate wave — duplicate-heavy
+	// traffic. The dataset is rebuilt from scratch, but content-affinity
+	// routing hashes the sequence digests, so the repeat lands on the
+	// shard that already paid for these extensions: every result comes
+	// from its cache and zero batches execute.
+	c := xdropipu.NewServiceClient(base, xdropipu.WithServiceTenant("pipeline"))
+	if job, err := c.Submit(context.Background(), clientData(0)); err == nil {
 		if rep, err := job.Wait(context.Background()); err == nil {
-			fmt.Printf("\nrepeat of client 0: %d alignments, %d cache hits, %d batches executed\n",
+			fmt.Printf("\nwarm-cache replay of client 0: %d alignments, %d cache hits, %d batches executed\n",
 				len(rep.Results), rep.CacheHits, rep.Batches)
 		}
 	}
 
-	st := eng.Stats()
-	fmt.Printf("engine lifetime: %d jobs, %d batches, %.1f Mcells computed\n",
-		st.JobsDone, st.BatchesDone, float64(st.CellsDone)/1e6)
-	if st.CacheHits+st.CacheMisses > 0 {
-		fmt.Printf("result cache: %d hits, %d misses, %d evictions (%.0f%% hit rate)\n",
-			st.CacheHits, st.CacheMisses, st.CacheEvictions,
-			100*float64(st.CacheHits)/float64(st.CacheHits+st.CacheMisses))
+	// What an autoscaler sees: per-shard occupancy and cache behaviour,
+	// per-tenant admission counters.
+	var stats xdropipu.ServiceStats
+	if err := c.Stats(context.Background(), &stats); err == nil {
+		fmt.Printf("\nservice: %d jobs done across %d shards, max occupancy %.2f\n",
+			stats.Totals.JobsDone, len(stats.Shards), stats.Totals.QueueOccupancy)
+		for _, sh := range stats.Shards {
+			fmt.Printf("shard %d: %d jobs, %d batches, cache %d/%d hit/miss\n",
+				sh.Shard, sh.JobsDone, sh.BatchesDone, sh.CacheHits, sh.CacheMisses)
+		}
 	}
 
-	faultTolerance()
-}
-
-// faultTolerance: the same service surviving an unreliable fleet. A
-// seeded fault plan fails ~8% of batch executions transiently (a flaky
-// link) and kills a few batches permanently (a dead device); the engine
-// retries the transients with backoff and quarantines the rest to the
-// reference host path — and the report comes out bit-identical to a
-// fault-free run, with the damage visible only in the lifetime stats.
-func faultTolerance() {
-	d := synth.Reads(synth.ReadsSpec{
-		Name: "chaos", GenomeLen: 60_000,
-		Coverage: 8, MeanReadLen: 1200, MinReadLen: 400, MaxReadLen: 2400,
-		Errors: synth.UniformDNA(0.05), SeedLen: 17, MinOverlap: 300,
-		Seed: 100,
-	})
-	plan := xdropipu.NewFaultPlan(42, xdropipu.FaultSpec{
-		TransientRate: 0.08,
-		PermanentRate: 0.03,
-	})
-	eng := xdropipu.NewEngine(
-		xdropipu.WithIPUs(4),
-		xdropipu.WithModel(xdropipu.GC200),
-		xdropipu.WithTilesPerIPU(8),
-		xdropipu.WithPartition(true),
-		xdropipu.WithKernel(xdropipu.KernelConfig{
-			Params: xdropipu.Params{
-				Scorer: xdropipu.DNAScorer, Gap: -1, X: 15, DeltaB: 256,
-			},
-			LRSplit: true, WorkStealing: true, BusyWaitVariance: true, DualIssue: true,
-		}),
-		// Fine batches: more executions for the fault plan to shoot at.
-		xdropipu.WithMaxBatchJobs(100),
-		xdropipu.WithFaultPlan(plan),
-		xdropipu.WithRetry(6, 0), // up to 6 retries per batch, no job cap
-		xdropipu.WithDegradedMode(xdropipu.DegradeFallback),
-	)
-	defer eng.Close()
-
-	job, err := eng.Submit(context.Background(), d)
-	if err != nil {
-		fmt.Printf("chaos: submit failed: %v\n", err)
-		return
+	// And what a monitoring stack scrapes: a few lines of the
+	// Prometheus exposition.
+	if resp, err := http.Get(base + "/v1/metrics"); err == nil {
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		shown := 0
+		for sc.Scan() && shown < 6 {
+			line := sc.Text()
+			if strings.HasPrefix(line, "xdropipu_engine_jobs_done_total") ||
+				strings.HasPrefix(line, "xdropipu_engine_cache_hits_total") ||
+				strings.HasPrefix(line, "xdropipu_service_jobs_submitted_total") {
+				fmt.Println("metric:", line)
+				shown++
+			}
+		}
 	}
-	rep, err := job.Wait(context.Background())
-	if err != nil {
-		fmt.Printf("chaos: %v\n", err)
-		return
-	}
-	st := eng.Stats()
-	tr, pm, _ := plan.Injected()
-	fmt.Printf("\nfault tolerance: %d alignments despite %d injected faults "+
-		"(%d transient, %d permanent)\n", len(rep.Results), st.FaultsInjected, tr, pm)
-	fmt.Printf("fault tolerance: %d retries, %d batches quarantined to the host path, "+
-		"%d partial failures\n", st.Retries, st.Quarantined, rep.PartialFailures)
+
+	// Clean shutdown: Shutdown drains the HTTP side, Close cancels
+	// whatever jobs remain and stops the shard engines.
+	shctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	srv.Shutdown(shctx)
+	svc.Close()
+	fmt.Println("\nservice drained and closed")
 }

@@ -308,6 +308,14 @@ func (e *Engine) normalize() {
 // Config returns the normalized driver configuration the fleet runs.
 func (e *Engine) Config() driver.Config { return e.cfg }
 
+// QueueDepth returns the admission bound: how many submissions may be in
+// flight before Submit blocks. Together with Stats.JobsLive it gives the
+// queue occupancy a service front-end sheds load on.
+func (e *Engine) QueueDepth() int { return e.queueDepth }
+
+// Executors returns the host-side executor pool width.
+func (e *Engine) Executors() int { return e.executors }
+
 // Stats is a snapshot of engine-lifetime aggregates.
 type Stats struct {
 	// JobsDone counts completed (not cancelled/failed) submissions.
@@ -316,8 +324,13 @@ type Stats struct {
 	BatchesDone int64
 	// CellsDone sums computed DP cells across executed batches.
 	CellsDone int64
-	// JobsLive counts admitted, unfinished submissions.
+	// JobsLive counts admitted, unfinished submissions. With QueueDepth
+	// it yields queue occupancy — the service tier's primary load-shedding
+	// and autoscaling signal.
 	JobsLive int
+	// InflightBatches counts executors currently running a batch — the
+	// instantaneous fleet utilisation signal.
+	InflightBatches int
 	// CacheHits, CacheMisses and CacheEvictions count result-cache
 	// activity across all jobs (all zero without WithResultCache).
 	CacheHits, CacheMisses, CacheEvictions int64
@@ -355,6 +368,7 @@ func (e *Engine) Stats() Stats {
 		BatchesDone:      e.doneBatches,
 		CellsDone:        e.doneCells,
 		JobsLive:         e.live,
+		InflightBatches:  e.busy,
 		Retries:          e.stRetries,
 		Hedges:           e.stHedges,
 		Quarantined:      e.stQuarant,
@@ -403,9 +417,15 @@ func (e *Engine) Submit(ctx context.Context, d *workload.Dataset) (*Job, error) 
 		return nil, ErrClosed
 	}
 	e.seq++
+	// The job runs on its own cancellable child of the submission context:
+	// the caller's ctx still cancels it, and Job.Cancel gives holders of
+	// the handle (a network front-end cancelling on client disconnect) the
+	// same clean teardown without owning the submit context.
+	jctx, jcancel := context.WithCancel(ctx)
 	j := &Job{
 		eng:     e,
-		ctx:     ctx,
+		ctx:     jctx,
+		cancel:  jcancel,
 		seq:     e.seq,
 		dataset: d,
 		built:   make(chan struct{}),
@@ -1019,6 +1039,9 @@ func (e *Engine) finishLocked(j *Job, rep *driver.Report, err error) {
 	}
 	j.timers = nil
 	j.retryq = nil
+	if j.cancel != nil {
+		j.cancel() // release the job's derived context
+	}
 	if j.streaming {
 		close(j.updates)
 		j.streaming = false

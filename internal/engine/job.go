@@ -14,6 +14,7 @@ import (
 type Job struct {
 	eng     *Engine
 	ctx     context.Context
+	cancel  context.CancelFunc // cancels ctx (a child of the submit context)
 	seq     int64
 	dataset *workload.Dataset
 
@@ -89,6 +90,13 @@ type Update struct {
 // Done returns a channel closed when the job settles (report ready,
 // failed, or cancelled).
 func (j *Job) Done() <-chan struct{} { return j.doneCh }
+
+// Cancel cancels the job: planning stops, not-yet-issued batches are
+// dropped, and Wait returns context.Canceled. It is the handle-side
+// cancellation hook for callers that do not own the submit context — a
+// service front-end tearing a job down when its client disconnects.
+// Idempotent; a no-op after the job settles.
+func (j *Job) Cancel() { j.cancel() }
 
 // Err returns the job's terminal error (nil while running or on success).
 func (j *Job) Err() error {

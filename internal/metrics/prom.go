@@ -1,0 +1,102 @@
+// Prometheus text exposition (version 0.0.4): the minimal stdlib-only
+// encoder behind the service's GET /v1/metrics. Families render in the
+// order given and samples in the order added, so scrapes are
+// deterministic and diffable in tests.
+
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus metric types.
+const (
+	PromCounter = "counter"
+	PromGauge   = "gauge"
+)
+
+// PromLabel is one name="value" pair on a sample.
+type PromLabel struct {
+	Name, Value string
+}
+
+// PromSample is one time-series point of a family.
+type PromSample struct {
+	Labels []PromLabel
+	Value  float64
+}
+
+// PromFamily is one metric family: HELP and TYPE header plus samples.
+type PromFamily struct {
+	// Name must match [a-zA-Z_:][a-zA-Z0-9_:]*; the caller owns naming
+	// discipline (…_total for counters, base units).
+	Name string
+	// Help is the one-line description (newlines are escaped).
+	Help string
+	// Type is PromCounter or PromGauge.
+	Type string
+	// Samples hold the family's labeled points.
+	Samples []PromSample
+}
+
+// Add appends one sample; labels alternate name, value.
+func (f *PromFamily) Add(value float64, labels ...string) {
+	s := PromSample{Value: value}
+	for i := 0; i+1 < len(labels); i += 2 {
+		s.Labels = append(s.Labels, PromLabel{Name: labels[i], Value: labels[i+1]})
+	}
+	f.Samples = append(f.Samples, s)
+}
+
+// WriteProm renders the families in Prometheus text exposition format.
+func WriteProm(w io.Writer, fams []PromFamily) error {
+	for _, f := range fams {
+		if len(f.Samples) == 0 {
+			continue
+		}
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		for _, s := range f.Samples {
+			if _, err := io.WriteString(w, f.Name); err != nil {
+				return err
+			}
+			if len(s.Labels) > 0 {
+				parts := make([]string, len(s.Labels))
+				for i, l := range s.Labels {
+					parts[i] = l.Name + `="` + escapeLabel(l.Value) + `"`
+				}
+				if _, err := io.WriteString(w, "{"+strings.Join(parts, ",")+"}"); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(w, " "+formatPromValue(s.Value)+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func formatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,182 @@
+// Multi-tenant admission tests: the fair-share bucket must refuse a
+// greedy tenant without touching a polite one, and a saturated shard
+// must shed with 429 + a parseable Retry-After instead of blocking the
+// connection on the engine's admission queue.
+
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/sram-align/xdropipu/internal/driver"
+	"github.com/sram-align/xdropipu/internal/engine"
+	"github.com/sram-align/xdropipu/internal/service"
+	"github.com/sram-align/xdropipu/internal/service/wire"
+)
+
+// postDetached submits the payload as the given tenant with ?stream=0
+// and returns the response (body closed, job left running server-side).
+func postDetached(t *testing.T, ts *httptest.Server, tenant string, payload []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs?stream=0", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", wire.ContentTypeDataset)
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func requireRetryAfter(t *testing.T, resp *http.Response) int {
+	t.Helper()
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatalf("refusal %s carried no Retry-After", resp.Status)
+	}
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q is not a positive integer second count", ra)
+	}
+	return secs
+}
+
+// TestServiceTenantFairShare: a tenant burning through its burst gets
+// 429 from its own bucket while another tenant's first submission is
+// still admitted — one client's greed cannot starve the rest.
+func TestServiceTenantFairShare(t *testing.T) {
+	opts := []engine.Option{
+		engine.WithDriverConfig(testCfg(1)), engine.WithQueueDepth(64), engine.WithExecutors(2),
+	}
+	svc := service.New(service.Config{
+		Shards: 1, EngineOptions: opts,
+		// A refill slow enough that the bucket cannot recover a token
+		// mid-test: admission is burst-only for both tenants.
+		TenantRatePerSec: 0.001, TenantBurst: 2,
+	})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	payload, err := wire.EncodeDataset(readsData(t, 5, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	greedyRefused := 0
+	for i := 0; i < 4; i++ {
+		resp := postDetached(t, ts, "greedy", payload)
+		switch {
+		case i < 2 && resp.StatusCode != http.StatusAccepted:
+			t.Fatalf("greedy submit %d inside burst: %s", i, resp.Status)
+		case i >= 2:
+			if resp.StatusCode != http.StatusTooManyRequests {
+				t.Fatalf("greedy submit %d past burst: got %s, want 429", i, resp.Status)
+			}
+			requireRetryAfter(t, resp)
+			greedyRefused++
+		}
+	}
+	if greedyRefused != 2 {
+		t.Fatalf("greedy refusals = %d, want 2", greedyRefused)
+	}
+
+	// The polite tenant's bucket is untouched by the greedy tenant's
+	// exhaustion.
+	if resp := postDetached(t, ts, "polite", payload); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("polite tenant refused despite fresh bucket: %s", resp.Status)
+	}
+
+	var stats service.StatsReply
+	getJSON(t, ts, "/v1/stats", &stats)
+	if g := stats.Tenants["greedy"]; g.RateLimited != 2 || g.Submitted != 2 {
+		t.Fatalf("greedy counters: %+v", g)
+	}
+	if p := stats.Tenants["polite"]; p.RateLimited != 0 || p.Submitted != 1 {
+		t.Fatalf("polite counters: %+v", p)
+	}
+}
+
+// TestServiceLoadShedding: with MaxLiveJobs 1 and a deliberately slow
+// shard, the second submission is shed with 429 + Retry-After while the
+// first still runs; once the first drains, submission works again.
+func TestServiceLoadShedding(t *testing.T) {
+	// Every batch straggles 200ms, so the first job reliably spans the
+	// second submission attempt.
+	plan := driver.NewFaultPlan(1, driver.FaultSpec{
+		StragglerRate: 1, StragglerDelay: 200 * time.Millisecond,
+	})
+	opts := []engine.Option{
+		engine.WithDriverConfig(testCfg(1)), engine.WithQueueDepth(8),
+		engine.WithExecutors(1), engine.WithFaultPlan(plan),
+	}
+	svc := service.New(service.Config{Shards: 1, EngineOptions: opts, MaxLiveJobs: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	payload, err := wire.EncodeDataset(readsData(t, 7, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := postDetached(t, ts, "a", payload); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %s", resp.Status)
+	}
+	resp := postDetached(t, ts, "b", payload)
+	if resp.StatusCode != service.StatusServiceSaturated {
+		t.Fatalf("second submit on saturated shard: got %s, want 429", resp.Status)
+	}
+	requireRetryAfter(t, resp)
+
+	// Shedding is load, not lockout: wait for the shard to drain and
+	// the same tenant is admitted again.
+	waitForLive(t, svc, 0, 10*time.Second)
+	if resp := postDetached(t, ts, "b", payload); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after drain: %s", resp.Status)
+	}
+	waitForLive(t, svc, 0, 10*time.Second)
+}
+
+// waitForLive polls the shard pool until the live-job total reaches n.
+func waitForLive(t *testing.T, svc *service.Server, n int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		live := 0
+		for _, e := range svc.Shards() {
+			live += e.Stats().JobsLive
+		}
+		if live == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("live jobs stuck at %d, want %d", live, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, dst any) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", path, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,487 @@
+// Package service is the networked front-end of the alignment system: a
+// stdlib-only streaming HTTP service (HTTP/1.1, and HTTP/2 when the
+// embedding server enables it) over a pool of engine shards. It preserves
+// the ipuma-lib submit/stream/join contract across the wire:
+//
+//	POST   /v1/jobs            submit a workload, stream NDJSON results
+//	GET    /v1/jobs/{id}          job status (addressable jobs)
+//	GET    /v1/jobs/{id}/results  (re-)stream results from a cursor
+//	DELETE /v1/jobs/{id}          cancel
+//	GET    /v1/stats              per-tenant + per-shard JSON stats
+//	GET    /v1/metrics            Prometheus text exposition
+//	GET    /v1/healthz            liveness
+//
+// Jobs route to shards by content affinity — a hash of the workload's
+// sequence digests — so repeat submissions of the same content land on
+// the same shard and its cross-job result cache stays warm. Multi-tenant
+// admission is two-layered: a per-tenant token bucket enforces fair
+// share, and queue-depth load shedding (HTTP 429 with a Retry-After
+// derived from engine.Stats) protects saturated shards. Delivered
+// batches are retained in a bounded per-job window, so a client whose
+// connection drops resumes with GET …/results?from=N instead of
+// re-submitting; a job whose last stream disconnects is cancelled after
+// a configurable linger.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/sram-align/xdropipu/internal/engine"
+	"github.com/sram-align/xdropipu/internal/service/wire"
+	"github.com/sram-align/xdropipu/internal/workload"
+)
+
+// Config shapes a Server.
+type Config struct {
+	// Shards is the engine pool width (default 1). Each shard is an
+	// independent engine — own executors, own admission queue, own result
+	// cache — so tenants sharing content share warmth, not failure.
+	Shards int
+	// EngineOptions construct every shard (fleet size, kernel, cache,
+	// fault tolerance). The same options apply to each shard, so results
+	// are independent of routing.
+	EngineOptions []engine.Option
+	// WindowChunks bounds the per-job replay window (delivered batches
+	// retained for resume), default 256. A resume cursor older than the
+	// window gets 410 Gone.
+	WindowChunks int
+	// Linger is how long a job survives after its last stream detaches
+	// before it is cancelled (default 0: immediate). Clients that intend
+	// to resume ask for more with the X-Linger header, capped by
+	// MaxLinger.
+	Linger time.Duration
+	// MaxLinger caps client-requested linger (default 60s).
+	MaxLinger time.Duration
+	// JobTTL is how long a settled job stays addressable for late reads
+	// (default 2m).
+	JobTTL time.Duration
+	// TenantRatePerSec refills each tenant's admission bucket (0 = no
+	// per-tenant rate limit).
+	TenantRatePerSec float64
+	// TenantBurst is the bucket capacity (default 4 when a rate is set).
+	TenantBurst int
+	// MaxLiveJobs is the per-shard load-shedding threshold: a shard with
+	// this many live jobs answers 429 (0 = the shard's queue depth, so
+	// shedding engages exactly where Submit would start blocking).
+	MaxLiveJobs int
+	// MaxBodyBytes bounds a submission body (default 1 GiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.WindowChunks <= 0 {
+		c.WindowChunks = 256
+	}
+	if c.MaxLinger <= 0 {
+		c.MaxLinger = 60 * time.Second
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 2 * time.Minute
+	}
+	if c.TenantBurst <= 0 {
+		c.TenantBurst = 4
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 30
+	}
+	return c
+}
+
+// Server is the multi-tenant alignment service over a pool of engine
+// shards. Create with New, expose with Handler, release with Close.
+type Server struct {
+	cfg    Config
+	shards []*engine.Engine
+	mux    *http.ServeMux
+
+	mu      sync.Mutex
+	jobs    map[string]*jobState
+	tenants map[string]*tenantState
+	nextID  int64
+	closed  bool
+
+	closedCh chan struct{}
+	wg       sync.WaitGroup // pump goroutines
+}
+
+// New starts a server and its engine shards.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		jobs:     make(map[string]*jobState),
+		tenants:  make(map[string]*tenantState),
+		closedCh: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, engine.New(cfg.EngineOptions...))
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// Handler returns the service's HTTP handler. It works under HTTP/1.1
+// and HTTP/2 alike (enable unencrypted HTTP/2 via http.Server.Protocols
+// if desired); streaming responses flush per chunk on both.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shards exposes the engine pool (stats, tests).
+func (s *Server) Shards() []*engine.Engine { return s.shards }
+
+// Close cancels every live job, drains the pump goroutines and shuts the
+// shard engines down. Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	close(s.closedCh)
+	jobs := make([]*jobState, 0, len(s.jobs))
+	for _, js := range s.jobs {
+		jobs = append(jobs, js)
+	}
+	s.mu.Unlock()
+	for _, js := range jobs {
+		js.cancel()
+	}
+	s.wg.Wait()
+	for _, e := range s.shards {
+		e.Close()
+	}
+	return nil
+}
+
+// routeKey folds the workload's sequence digests into the content-
+// affinity routing key: identical sequence content — regardless of which
+// arena packed it — routes to the same shard, keeping that shard's
+// ExtensionKey result cache warm for repeat and duplicate-heavy traffic.
+func routeKey(d *workload.Dataset) uint64 {
+	arena, _ := d.Spine()
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < arena.Len(); i++ {
+		dg := arena.Digest(i)
+		h ^= dg.Lo
+		h *= prime64
+		h ^= dg.Hi
+		h *= prime64
+	}
+	return h
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tenant := tenantName(r)
+	if ok, retry := s.admitTenant(tenant); !ok {
+		writeRetryAfter(w, retry)
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("tenant %q over fair-share rate; retry after %s", tenant, retry))
+		return
+	}
+
+	d, err := s.decodeBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	shard := int(routeKey(d) % uint64(len(s.shards)))
+	eng := s.shards[shard]
+	maxLive := s.cfg.MaxLiveJobs
+	if maxLive <= 0 {
+		maxLive = eng.QueueDepth()
+	}
+	if st := eng.Stats(); st.JobsLive >= maxLive {
+		retry := retryAfterFromStats(st, maxLive)
+		s.tenantShed(tenant)
+		writeRetryAfter(w, retry)
+		writeError(w, StatusServiceSaturated,
+			fmt.Sprintf("shard %d saturated (%d live jobs); retry after %s", shard, st.JobsLive, retry))
+		return
+	}
+
+	linger := s.cfg.Linger
+	if hv := r.Header.Get("X-Linger"); hv != "" {
+		if pd, perr := time.ParseDuration(hv); perr == nil && pd > 0 {
+			linger = min(pd, s.cfg.MaxLinger)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	job, err := eng.Submit(ctx, d)
+	if err != nil {
+		cancel()
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		writeError(w, http.StatusServiceUnavailable, "service closing")
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("j%06d", s.nextID)
+	js := newJobState(id, tenant, shard, job, cancel, linger, len(d.Comparisons), s.cfg.WindowChunks)
+	s.jobs[id] = js
+	ts := s.tenantLocked(tenant)
+	ts.Submitted++
+	ts.Live++
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go s.pump(js)
+
+	if r.URL.Query().Get("stream") == "0" {
+		// Detached submission: the job is addressable; results come via
+		// GET …/results. No stream ever attaches, so disconnect-cancel
+		// does not apply — the job runs to completion (or DELETE/TTL).
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(js.headerSnapshot(0))
+		return
+	}
+	s.streamJob(w, r, js, 0)
+}
+
+// StatusServiceSaturated is the load-shedding status (429 Too Many
+// Requests, per RFC 6585, with Retry-After).
+const StatusServiceSaturated = http.StatusTooManyRequests
+
+func (s *Server) decodeBody(r *http.Request) (*workload.Dataset, error) {
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = strings.TrimSpace(ct[:i])
+	}
+	switch ct {
+	case wire.ContentTypeDataset, "application/octet-stream", "":
+		p, err := io.ReadAll(body)
+		if err != nil {
+			return nil, err
+		}
+		return wire.DecodeDataset(p)
+	case wire.ContentTypeFasta, "text/plain":
+		q := r.URL.Query()
+		protein := q.Get("protein") == "1" || q.Get("protein") == "true"
+		k, _ := strconv.Atoi(q.Get("k"))
+		name := q.Get("name")
+		if name == "" {
+			name = "fasta"
+		}
+		return wire.DecodeFasta(body, protein, k, name)
+	default:
+		return nil, fmt.Errorf("unsupported content type %q", ct)
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	js := s.lookup(r.PathValue("id"))
+	if js == nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(js.status())
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	js := s.lookup(r.PathValue("id"))
+	if js == nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	from := 0
+	if fs := r.URL.Query().Get("from"); fs != "" {
+		v, err := strconv.Atoi(fs)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad from cursor")
+			return
+		}
+		from = v
+	}
+	if first := js.firstRetained(); from < first {
+		writeError(w, http.StatusGone,
+			fmt.Sprintf("cursor %d fell out of the replay window (first retained %d)", from, first))
+		return
+	}
+	s.streamJob(w, r, js, from)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	js := s.lookup(r.PathValue("id"))
+	if js == nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	js.cancel()
+	s.mu.Lock()
+	s.tenantLocked(js.tenant).Cancelled++
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{"job": js.id, "state": "cancelling"})
+}
+
+func (s *Server) lookup(id string) *jobState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// pump is each job's single Results consumer: it encodes every update
+// once into the bounded replay window (streams are readers over that
+// window), then settles the job with its final record and schedules
+// removal after the retention TTL.
+func (s *Server) pump(js *jobState) {
+	defer s.wg.Done()
+	for u := range js.job.Results() {
+		js.appendUpdate(u)
+	}
+	rep, err := js.job.Wait(context.Background())
+	js.finish(rep, err)
+	s.mu.Lock()
+	ts := s.tenantLocked(js.tenant)
+	ts.Live--
+	if err != nil {
+		ts.Failed++
+	} else {
+		ts.Completed++
+	}
+	s.mu.Unlock()
+	time.AfterFunc(s.cfg.JobTTL, func() {
+		s.mu.Lock()
+		delete(s.jobs, js.id)
+		s.mu.Unlock()
+	})
+}
+
+// streamJob writes the NDJSON stream: header, window replay from the
+// cursor, then live chunks as the pump appends them, and the final
+// record. A client disconnect detaches; the last detach of an unfinished
+// job arms (or is) its cancellation.
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, js *jobState, from int) {
+	w.Header().Set("Content-Type", wire.ContentTypeNDJSON)
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	rc := http.NewResponseController(w)
+
+	js.attach()
+	defer s.detach(js)
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(wire.Envelope{Header: js.headerSnapshot(from)}); err != nil {
+		return
+	}
+	rc.Flush()
+
+	cursor := from
+	for {
+		lines, final, notify, gone := js.collect(cursor)
+		if gone {
+			// The window outran this reader (possible only if the cursor
+			// was valid at entry and the writer lapped us). Terminate;
+			// the client re-resumes and gets a clean 410.
+			return
+		}
+		for _, line := range lines {
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+		}
+		cursor += len(lines)
+		if len(lines) > 0 {
+			rc.Flush()
+		}
+		if final != nil {
+			w.Write(final)
+			rc.Flush()
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		case <-s.closedCh:
+			return
+		}
+	}
+}
+
+// detach undoes one attach; the last detach of an unfinished job cancels
+// it immediately (linger 0) or arms the linger timer, giving a resuming
+// client that long to come back before the work is torn down.
+func (s *Server) detach(js *jobState) {
+	js.mu.Lock()
+	js.attached--
+	last := js.attached == 0 && !js.done
+	if !last {
+		js.mu.Unlock()
+		return
+	}
+	if js.linger <= 0 {
+		js.mu.Unlock()
+		js.cancel()
+		return
+	}
+	if js.lingerT == nil {
+		js.lingerT = time.AfterFunc(js.linger, func() {
+			js.mu.Lock()
+			fire := js.attached == 0 && !js.done
+			js.mu.Unlock()
+			if fire {
+				js.cancel()
+			}
+		})
+	}
+	js.mu.Unlock()
+}
+
+func tenantName(r *http.Request) string {
+	t := r.Header.Get("X-Tenant")
+	if t == "" {
+		return "default"
+	}
+	if len(t) > 64 {
+		t = t[:64]
+	}
+	return t
+}
+
+func writeRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

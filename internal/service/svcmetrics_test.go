@@ -1,0 +1,85 @@
+// Observability tests: the stats snapshot and the Prometheus exposition
+// must reflect real engine counters after traffic, deterministically
+// enough to scrape.
+
+package service_test
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sram-align/xdropipu/internal/engine"
+	"github.com/sram-align/xdropipu/internal/service"
+	"github.com/sram-align/xdropipu/internal/service/wire"
+)
+
+func TestServiceStatsAndMetricsExposition(t *testing.T) {
+	opts := []engine.Option{
+		engine.WithDriverConfig(testCfg(1)), engine.WithExecutors(1),
+		engine.WithDedupExtensions(true), engine.WithResultCache(1024),
+	}
+	svc := service.New(service.Config{Shards: 2, EngineOptions: opts})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	payload, err := wire.EncodeDataset(readsData(t, 29, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two identical submissions from one tenant: the second must hit the
+	// affinity-routed shard's warm cache.
+	for i := 0; i < 2; i++ {
+		resp := postDetached(t, ts, "alpha", payload)
+		if resp.StatusCode != 202 {
+			t.Fatalf("submit %d: %s", i, resp.Status)
+		}
+	}
+	waitForLive(t, svc, 0, 10*time.Second)
+
+	var stats service.StatsReply
+	getJSON(t, ts, "/v1/stats", &stats)
+	if stats.Totals.JobsDone != 2 {
+		t.Fatalf("totals.JobsDone = %d, want 2", stats.Totals.JobsDone)
+	}
+	if stats.Totals.CacheHits == 0 {
+		t.Fatalf("repeat submission missed the affinity-routed cache: %+v", stats.Totals)
+	}
+	if len(stats.Shards) != 2 {
+		t.Fatalf("stats carry %d shards, want 2", len(stats.Shards))
+	}
+	a := stats.Tenants["alpha"]
+	if a.Submitted != 2 || a.Completed != 2 || a.Live != 0 {
+		t.Fatalf("tenant alpha counters: %+v", a)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE xdropipu_engine_jobs_done_total counter",
+		`xdropipu_engine_jobs_done_total{shard="0"}`,
+		`xdropipu_engine_jobs_done_total{shard="1"}`,
+		"# TYPE xdropipu_engine_queue_occupancy gauge",
+		`xdropipu_service_jobs_submitted_total{tenant="alpha"} 2`,
+		`xdropipu_service_jobs_completed_total{tenant="alpha"} 2`,
+		"xdropipu_engine_cache_hits_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Codec tests: the binary dataset format must round-trip the arena
+// spine exactly — spans, digests, plan, flags — and fail cleanly on
+// truncated or hostile payloads instead of over-allocating.
+
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sram-align/xdropipu/internal/synth"
+)
+
+func encodedPayload(t *testing.T) []byte {
+	t.Helper()
+	d := synth.Reads(synth.ReadsSpec{
+		Name: "wire", GenomeLen: 30000, Coverage: 6, MeanReadLen: 1500, MinReadLen: 600,
+		Errors: synth.HiFiDNA(), SeedLen: 17, MinOverlap: 400, Seed: 9, MaxComparisons: 20,
+	})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := EncodeDataset(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestServiceWireRoundTrip(t *testing.T) {
+	d := synth.Reads(synth.ReadsSpec{
+		Name: "wire", GenomeLen: 30000, Coverage: 6, MeanReadLen: 1500, MinReadLen: 600,
+		Errors: synth.HiFiDNA(), SeedLen: 17, MinOverlap: 400, Seed: 9, MaxComparisons: 20,
+	})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := EncodeDataset(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDataset(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != d.Name || got.Protein != d.Protein {
+		t.Fatalf("metadata drift: %q/%v vs %q/%v", got.Name, got.Protein, d.Name, d.Protein)
+	}
+	wantArena, wantPlan := d.Spine()
+	gotArena, gotPlan := got.Spine()
+	if gotArena.Len() != wantArena.Len() {
+		t.Fatalf("arena length %d, want %d", gotArena.Len(), wantArena.Len())
+	}
+	for i := 0; i < wantArena.Len(); i++ {
+		// Digest equality is the load-bearing property: routing keys and
+		// result-cache identity both hang off it.
+		if gotArena.Digest(i) != wantArena.Digest(i) {
+			t.Fatalf("sequence %d digest drifted across the wire", i)
+		}
+		if string(gotArena.Seq(i)) != string(wantArena.Seq(i)) {
+			t.Fatalf("sequence %d bytes drifted across the wire", i)
+		}
+	}
+	if gotPlan.Len() != wantPlan.Len() {
+		t.Fatalf("plan rows %d, want %d", gotPlan.Len(), wantPlan.Len())
+	}
+	for i := 0; i < wantPlan.Len(); i++ {
+		for c, col := range [][]int32{gotPlan.H, gotPlan.V, gotPlan.SeedH, gotPlan.SeedV, gotPlan.SeedLen} {
+			want := [][]int32{wantPlan.H, wantPlan.V, wantPlan.SeedH, wantPlan.SeedV, wantPlan.SeedLen}[c]
+			if col[i] != want[i] {
+				t.Fatalf("plan row %d column %d drifted: %d vs %d", i, c, col[i], want[i])
+			}
+		}
+	}
+
+	// Canonical encoding: re-encoding the decoded dataset reproduces the
+	// payload byte for byte.
+	p2, err := EncodeDataset(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p2) != string(p) {
+		t.Fatal("encoding is not canonical: decode→encode changed bytes")
+	}
+}
+
+func TestServiceWireRejectsCorruption(t *testing.T) {
+	p := encodedPayload(t)
+	cases := map[string][]byte{
+		"empty":      {},
+		"bad magic":  append([]byte("XDW9"), p[4:]...),
+		"truncated":  p[:len(p)/2],
+		"trailing":   append(append([]byte{}, p...), 0xFF),
+		"magic only": p[:4],
+		"cut varint": p[:5],
+	}
+	for name, payload := range cases {
+		if _, err := DecodeDataset(payload); err == nil {
+			t.Fatalf("%s payload decoded without error", name)
+		} else if !strings.Contains(err.Error(), "wire") {
+			t.Fatalf("%s: error %q lost the wire prefix", name, err)
+		}
+	}
+}
+
+// TestServiceWireHostileCounts: a payload claiming absurd element counts
+// must fail the bounds check, not attempt the allocation.
+func TestServiceWireHostileCounts(t *testing.T) {
+	// Minimal hand-built payload: magic, flags 0, empty name, empty
+	// slab, then a refs count of 2^40 the remaining zero bytes cannot
+	// possibly hold.
+	hostile := []byte{'X', 'D', 'W', '1', 0, 0, 0}
+	hostile = append(hostile, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20) // uvarint 2^40
+	if _, err := DecodeDataset(hostile); err == nil {
+		t.Fatal("hostile refs count decoded without error")
+	}
+}

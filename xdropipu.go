@@ -32,6 +32,9 @@ import (
 	"github.com/sram-align/xdropipu/internal/platform"
 	"github.com/sram-align/xdropipu/internal/scoring"
 	"github.com/sram-align/xdropipu/internal/seqio"
+	"github.com/sram-align/xdropipu/internal/service"
+	"github.com/sram-align/xdropipu/internal/service/wire"
+	"github.com/sram-align/xdropipu/internal/serviceclient"
 	"github.com/sram-align/xdropipu/internal/workload"
 )
 
@@ -353,6 +356,75 @@ func NewEngine(opts ...EngineOption) *Engine {
 func RunOnIPU(d *Dataset, cfg IPUConfig) (*IPUReport, error) {
 	return engine.RunOnce(context.Background(), cfg, d)
 }
+
+// Networked service: the HTTP front-end over a pool of engine shards,
+// and the wire client that preserves the submit/stream/join contract
+// across it. Reports assembled by the client are bit-identical to
+// in-process Engine.Submit on the same workload and options.
+type (
+	// Service is the multi-tenant streaming alignment service: POST
+	// /v1/jobs submits a workload and streams NDJSON results, jobs route
+	// to shards by content affinity, admission is fair-share + load
+	// shedding (429 with Retry-After), and delivered batches replay from
+	// a bounded window for resumable streams.
+	Service = service.Server
+	// ServiceConfig shapes a Service (shards, engine options, admission
+	// rates, replay window, linger).
+	ServiceConfig = service.Config
+	// ServiceStats is the GET /v1/stats payload: per-tenant counters,
+	// per-shard engine stats and the aggregated autoscaling signals.
+	ServiceStats = service.StatsReply
+	// ServiceClient talks to a Service over HTTP.
+	ServiceClient = serviceclient.Client
+	// ServiceClientOption configures NewServiceClient (tenant identity,
+	// stream linger, transport retry).
+	ServiceClientOption = serviceclient.Option
+	// RemoteJob is a submitted workload's wire-side handle, mirroring
+	// Job: Results streams EngineUpdates, Wait joins for the IPUReport.
+	RemoteJob = serviceclient.RemoteJob
+)
+
+// NewService starts the HTTP alignment service and its engine shards;
+// serve its Handler with an http.Server and Close it when done.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// NewServiceClient returns a client for the service at base
+// (scheme://host:port).
+func NewServiceClient(base string, opts ...ServiceClientOption) *ServiceClient {
+	return serviceclient.New(base, opts...)
+}
+
+// Service client options.
+var (
+	// WithServiceTenant sets the client's tenant identity (fair-share
+	// admission key).
+	WithServiceTenant = serviceclient.WithTenant
+	// WithStreamLinger asks the server to keep a disconnected job alive
+	// that long so the client can resume its stream.
+	WithStreamLinger = serviceclient.WithStreamLinger
+	// WithTransportRetry sets transport attempts per request.
+	WithTransportRetry = serviceclient.WithTransportRetry
+	// WithTransportBackoff shapes the jittered retry backoff.
+	WithTransportBackoff = serviceclient.WithTransportBackoff
+	// WithHTTPClient substitutes the underlying *http.Client.
+	WithHTTPClient = serviceclient.WithHTTPClient
+)
+
+// EncodeDataset serializes a dataset into the service's binary wire
+// format (the Content-Type WireDatasetContentType payload).
+func EncodeDataset(d *Dataset) ([]byte, error) { return wire.EncodeDataset(d) }
+
+// DecodeDataset reverses EncodeDataset; the restored dataset preserves
+// spans and content digests, so routing and cache identity survive.
+func DecodeDataset(p []byte) (*Dataset, error) { return wire.DecodeDataset(p) }
+
+// Wire content types.
+const (
+	// WireDatasetContentType is the binary workload payload.
+	WireDatasetContentType = wire.ContentTypeDataset
+	// WireFastaContentType is the plain-FASTA submission path.
+	WireFastaContentType = wire.ContentTypeFasta
+)
 
 // Pipelines.
 type (
