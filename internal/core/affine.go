@@ -46,6 +46,11 @@ func (w *Workspace) Affine(h, v View, p Params) Result {
 	tab := p.Scorer.Table()
 	gape := int32(p.Gap)
 	gapo := int32(p.GapOpen)
+	// Hoist the gap-open+extend sum: max(a,b)+c ≡ max(a+c, b+c) (exact —
+	// int32 working values are orders of magnitude inside the range), so
+	// each E/F update is two independent adds feeding one max instead of
+	// the serial add→max→add chain the textbook recurrence spells.
+	goe := gapo + gape
 	hb, vb := h.data, v.data
 	hStep, hOrg := h.dir()
 	vStep, vD, vOrg := v.vdir()
@@ -85,7 +90,7 @@ func (w *Workspace) Affine(h, v View, p Params) Result {
 		if i == 0 {
 			// Top boundary (j = d): only the E channel exists, and it
 			// is also the cell's H value (H = max(−∞, E, −∞)).
-			e := max(d1e[o1], d1h[o1]+gapo) + gape
+			e := max(d1e[o1]+gape, d1h[o1]+goe)
 			if e < limit {
 				e = negInf32
 			}
@@ -116,8 +121,8 @@ func (w *Workspace) Affine(h, v View, p Params) Result {
 				vRow := vb[d-base-cnt:][:cnt]
 				for k := range ohRow {
 					hrv := d1hr[k]
-					e := max(d1er[k], hrv+gapo) + gape
-					f := max(flv, hlv+gapo) + gape
+					e := max(d1er[k]+gape, hrv+goe)
+					f := max(flv+gape, hlv+goe)
 					flv = d1fr[k]
 					s := d2v[k] + int32(tab[hRow[k]][vRow[cnt-1-k]])
 					hlv = hrv
@@ -143,8 +148,8 @@ func (w *Workspace) Affine(h, v View, p Params) Result {
 				vRow := vb[n-d+base:][:cnt]
 				for k := range ohRow {
 					hrv := d1hr[k]
-					e := max(d1er[k], hrv+gapo) + gape
-					f := max(flv, hlv+gapo) + gape
+					e := max(d1er[k]+gape, hrv+goe)
+					f := max(flv+gape, hlv+goe)
 					flv = d1fr[k]
 					s := d2v[k] + int32(tab[hRow[cnt-1-k]][vRow[k]])
 					hlv = hrv
@@ -172,8 +177,8 @@ func (w *Workspace) Affine(h, v View, p Params) Result {
 				vIdx := vOrg + vD*d + vStep*base
 				for k := range ohRow {
 					hrv := d1hr[k]
-					e := max(d1er[k], hrv+gapo) + gape
-					f := max(flv, hlv+gapo) + gape
+					e := max(d1er[k]+gape, hrv+goe)
+					f := max(flv+gape, hlv+goe)
 					flv = d1fr[k]
 					s := d2v[k] + int32(tab[hb[hIdx]][vb[vIdx]])
 					hIdx += hStep
@@ -202,7 +207,7 @@ func (w *Workspace) Affine(h, v View, p Params) Result {
 		if peelDiag {
 			// Bottom boundary (j = 0): only the F channel exists, and
 			// it is also the cell's H value (H = max(−∞, −∞, F)).
-			f := max(d1f[i-1+o1], d1h[i-1+o1]+gapo) + gape
+			f := max(d1f[i-1+o1]+gape, d1h[i-1+o1]+goe)
 			if f < limit {
 				f = negInf32
 			}

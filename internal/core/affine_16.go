@@ -1,0 +1,246 @@
+package core
+
+// affineNarrow is the int16 tier of Affine (see dp16.go for the tier and
+// bit-identity contract). Like the wide kernel it keeps the Gotoh E/F/H
+// channels in seven rotating buffers; the gap-open+extend sum is hoisted
+// out of the inner loop (max(a,b)+c ≡ max(a+c, b+c), exact in-range), so
+// each channel costs two independent adds feeding one max instead of a
+// serial add→max→add chain. ok is false when the saturation guard fired
+// and the caller must promote to the wide tier.
+func (w *Workspace) affineNarrow(h, v View, p Params) (Result, bool) {
+	m, n := h.Len(), v.Len()
+	delta := min(m, n) + 1
+	w.nb0 = growBuf16(w.nb0, delta)
+	w.nb1 = growBuf16(w.nb1, delta)
+	w.nb2 = growBuf16(w.nb2, delta)
+	w.ne0 = growBuf16(w.ne0, delta)
+	w.ne1 = growBuf16(w.ne1, delta)
+	w.nf0 = growBuf16(w.nf0, delta)
+	w.nf1 = growBuf16(w.nf1, delta)
+
+	res := Result{Stats: Stats{
+		TheoreticalCells: int64(m) * int64(n),
+		WorkBytes:        7 * delta * narrowScoreBytes,
+		Narrow:           true,
+	}}
+
+	tab := p.Scorer.Table()
+	gape := int16(p.Gap)
+	gapo := int16(p.GapOpen)
+	goe := gapo + gape
+	hb, vb := h.data, v.data
+	hStep, hOrg := h.dir()
+	vStep, vD, vOrg := v.vdir()
+
+	d1h, d1e, d1f := w.nb1, w.ne1, w.nf1
+	d2h := w.nb2
+	outH, outE, outF := w.nb0, w.ne0, w.nf0
+	seedDiag16(d1h, 0)
+	seedDiag16(d1e, negInf16)
+	seedDiag16(d1f, negInf16)
+	seedDiag16(d2h, negInf16)
+	d1cl, d1lo, d1hi := 0, 0, 0
+	d2cl := 0
+
+	var acc statAcc
+	acc.observe(1, 1)
+
+	best, t := int16(0), int16(0)
+	bestI, bestD := 0, 0
+
+	for d := 1; d <= m+n; d++ {
+		cl := max(d1lo, max(0, d-n))
+		cu := min(d1hi+1, min(d, m))
+		if cl > cu {
+			break
+		}
+		limit := pruneLimit16(t, p.X)
+		lo, hi := -1, -1
+		o1 := bufPad - d1cl
+		o2 := bufPad - d2cl
+		oo := bufPad - cl
+
+		i := cl
+		if i == 0 {
+			// Top boundary (j = d): only the E channel exists, and it
+			// is also the cell's H value.
+			e := max(d1e[o1]+gape, d1h[o1]+goe)
+			if e < limit {
+				e = negInf16
+			}
+			outH[oo], outE[oo], outF[oo] = e, e, negInf16
+			i = 1
+		}
+		iB := cu
+		peelDiag := cu == d // bottom boundary cell (j = 0) exists
+		if peelDiag {
+			iB = cu - 1
+		}
+		if cnt := iB - i + 1; cnt > 0 {
+			base := i
+			ohRow := outH[base+oo:][:cnt]
+			oeRow := outE[base+oo:][:cnt]
+			ofRow := outF[base+oo:][:cnt]
+			d2v := d2h[base-1+o2:][:cnt]
+			d1hr := d1h[base+o1:][:cnt]
+			d1er := d1e[base+o1:][:cnt]
+			d1fr := d1f[base+o1:][:cnt]
+			hlv := d1h[base-1+o1]
+			flv := d1f[base-1+o1]
+			switch {
+			case !h.rev && !v.rev:
+				hRow := hb[base-1:][:cnt]
+				vRow := vb[d-base-cnt:][:cnt]
+				for k := range ohRow {
+					hrv := d1hr[k]
+					e := max(d1er[k]+gape, hrv+goe)
+					f := max(flv+gape, hlv+goe)
+					flv = d1fr[k]
+					s := d2v[k] + int16(tab[hRow[k]][vRow[cnt-1-k]])
+					hlv = hrv
+					if e > s {
+						s = e
+					}
+					if f > s {
+						s = f
+					}
+					if s < limit {
+						s = negInf16
+					}
+					if e < limit {
+						e = negInf16
+					}
+					if f < limit {
+						f = negInf16
+					}
+					ohRow[k], oeRow[k], ofRow[k] = s, e, f
+				}
+			case h.rev && v.rev:
+				hRow := hb[m-base-cnt+1:][:cnt]
+				vRow := vb[n-d+base:][:cnt]
+				for k := range ohRow {
+					hrv := d1hr[k]
+					e := max(d1er[k]+gape, hrv+goe)
+					f := max(flv+gape, hlv+goe)
+					flv = d1fr[k]
+					s := d2v[k] + int16(tab[hRow[cnt-1-k]][vRow[k]])
+					hlv = hrv
+					if e > s {
+						s = e
+					}
+					if f > s {
+						s = f
+					}
+					if s < limit {
+						s = negInf16
+					}
+					if e < limit {
+						e = negInf16
+					}
+					if f < limit {
+						f = negInf16
+					}
+					ohRow[k], oeRow[k], ofRow[k] = s, e, f
+				}
+			default:
+				// Mixed-direction views: generic index cursors.
+				hIdx := hOrg + hStep*base
+				vIdx := vOrg + vD*d + vStep*base
+				for k := range ohRow {
+					hrv := d1hr[k]
+					e := max(d1er[k]+gape, hrv+goe)
+					f := max(flv+gape, hlv+goe)
+					flv = d1fr[k]
+					s := d2v[k] + int16(tab[hb[hIdx]][vb[vIdx]])
+					hIdx += hStep
+					vIdx += vStep
+					hlv = hrv
+					if e > s {
+						s = e
+					}
+					if f > s {
+						s = f
+					}
+					if s < limit {
+						s = negInf16
+					}
+					if e < limit {
+						e = negInf16
+					}
+					if f < limit {
+						f = negInf16
+					}
+					ohRow[k], oeRow[k], ofRow[k] = s, e, f
+				}
+			}
+			i = iB + 1
+		}
+		if peelDiag {
+			// Bottom boundary (j = 0): only the F channel exists, and
+			// it is also the cell's H value.
+			f := max(d1f[i-1+o1]+gape, d1h[i-1+o1]+goe)
+			if f < limit {
+				f = negInf16
+			}
+			k := i + oo
+			outH[k], outE[k], outF[k] = f, negInf16, f
+		}
+		width := cu - cl + 1
+		setGuards16(outH, width)
+		setGuards16(outE, width)
+		setGuards16(outF, width)
+
+		rowH := outH[bufPad:][:width]
+		rowE := outE[bufPad:][:width]
+		rowF := outF[bufPad:][:width]
+		for k := 0; k < width; k++ {
+			if rowH[k] != negInf16 || rowE[k] != negInf16 || rowF[k] != negInf16 {
+				lo = cl + k
+				break
+			}
+		}
+		rowBest, rowBestI := negInf16, -1
+		if lo >= 0 {
+			for k := width - 1; ; k-- {
+				if rowH[k] != negInf16 || rowE[k] != negInf16 || rowF[k] != negInf16 {
+					hi = cl + k
+					break
+				}
+			}
+			for k := lo - cl; k <= hi-cl; k++ {
+				if s := rowH[k]; s > rowBest {
+					rowBest, rowBestI = s, cl+k
+				}
+			}
+		}
+		if rowBest > satGuard16 {
+			return Result{}, false
+		}
+
+		liveW := 0
+		if lo >= 0 {
+			liveW = hi - lo + 1
+		}
+		acc.observe(width, liveW)
+		if lo < 0 {
+			break
+		}
+		if rowBest > best {
+			best, bestI, bestD = rowBest, rowBestI, d
+		}
+		if rowBest > t {
+			t = rowBest
+		}
+		d2h, d1h, outH = d1h, outH, d2h
+		d1e, outE = outE, d1e
+		d1f, outF = outF, d1f
+		d2cl = d1cl
+		d1cl, d1lo, d1hi = cl, lo, hi
+	}
+
+	acc.flush(&res.Stats)
+	res.Score = int(best)
+	res.EndH = bestI
+	res.EndV = bestD - bestI
+	return res, true
+}

@@ -113,6 +113,10 @@ type Params struct {
 	GapOpen int
 	// Algo selects the implementation used by Align.
 	Algo Algo
+	// Tier selects the kernel score width (see dp16.go). The zero value
+	// is TierWide; TierNarrow/TierAuto opt in to the int16 kernels with
+	// transparent overflow promotion back to int32.
+	Tier Tier
 }
 
 // Validate reports a descriptive error for out-of-range parameters.
@@ -159,9 +163,18 @@ type Stats struct {
 	// (§5.1 defines GCUPS over the full matrix size).
 	TheoreticalCells int64
 	// WorkBytes is the modeled device memory footprint of the variant's
-	// working buffers, assuming 4-byte scores (3δ·4 for Standard3,
-	// 2δb·4 for Restricted2; §3, Fig. 3).
+	// working buffers at the tier's score width: 4-byte scores on the
+	// wide tier (3δ·4 for Standard3, 2δb·4 for Restricted2; §3, Fig. 3),
+	// 2-byte scores on the narrow tier.
 	WorkBytes int
+	// Narrow reports that the extension completed on the int16 kernel
+	// tier. Promoted reports that a narrow attempt saturated and the
+	// extension transparently re-ran on the int32 tier (its Stats are
+	// those of the wide re-run). Both false means a plain wide run.
+	Narrow bool
+	// Promoted is set with Narrow == false: the wide re-run produced the
+	// result. See dp16.go for the saturation guard.
+	Promoted bool
 }
 
 func (s *Stats) observe(computedWidth, liveWidth int) {
@@ -190,6 +203,10 @@ func (s *Stats) add(o Stats) {
 	if o.WorkBytes > s.WorkBytes {
 		s.WorkBytes = o.WorkBytes
 	}
+	// A merged trace is "narrow" only if every constituent ran narrow,
+	// and "promoted" if any constituent promoted.
+	s.Narrow = s.Narrow && o.Narrow
+	s.Promoted = s.Promoted || o.Promoted
 }
 
 // Result is the outcome of one semi-global X-Drop extension.
@@ -203,16 +220,9 @@ type Result struct {
 	Stats Stats
 }
 
-// Align runs the extension selected by p.Algo on views h and v.
+// Align runs the extension selected by p.Algo (and p.Tier) on views h
+// and v.
 func Align(h, v View, p Params) Result {
-	switch p.Algo {
-	case AlgoStandard3:
-		return Standard3(h, v, p)
-	case AlgoReference:
-		return Reference(h, v, p)
-	case AlgoAffine:
-		return Affine(h, v, p)
-	default:
-		return Restricted2(h, v, p)
-	}
+	var w Workspace
+	return w.align(h, v, p)
 }

@@ -92,6 +92,10 @@ func (v View) vdir() (step, dd, org int) {
 type Workspace struct {
 	b0, b1, b2     []int32
 	e0, e1, f0, f1 []int32
+	// Narrow-tier (int16) buffers; allocated only when a narrow kernel
+	// actually runs, so wide-only workloads pay nothing.
+	nb0, nb1, nb2      []int16
+	ne0, ne1, nf0, nf1 []int16
 	// tb is the traceback replay's state (rows, window index, packed
 	// direction codes); see traceback.go. Untouched by the score pass.
 	tb tracer

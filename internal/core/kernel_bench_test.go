@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sram-align/xdropipu/internal/scoring"
+)
+
+// Kernel-level micro-benchmarks: single-core Mcells/s of each variant at
+// each score width, on the same 2000bp/15%-error workload as the facade
+// benchmarks. These feed the kernel_tiers section of BENCH_engine.json.
+
+func benchKernelPair(n int, errRate float64) ([]byte, []byte) {
+	rng := rand.New(rand.NewSource(42))
+	h := randDNA(rng, n)
+	v := mutate(rng, h, errRate)
+	return h, v
+}
+
+func benchKernel(b *testing.B, algo Algo, deltaB int, tier Tier) {
+	b.Helper()
+	h, v := benchKernelPair(2000, 0.15)
+	p := Params{Scorer: scoring.DNADefault, Gap: -1, X: 15, Algo: algo, DeltaB: deltaB, Tier: tier}
+	if algo == AlgoAffine {
+		p.GapOpen = -2
+	}
+	hv, vv := NewView(h), NewView(v)
+	var ws Workspace
+	ws.align(hv, vv, p) // warm buffers; the loop must be allocation-free
+	var cells int64
+	var promotions int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := ws.align(hv, vv, p)
+		cells += r.Stats.Cells
+		if r.Stats.Promoted {
+			promotions++
+		}
+	}
+	b.ReportMetric(float64(cells)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+	if tier == TierNarrow && promotions > 0 {
+		b.Fatalf("benchmark workload promoted %d/%d runs; tier comparison invalid", promotions, b.N)
+	}
+}
+
+func BenchmarkKernelRestricted2Wide(b *testing.B)   { benchKernel(b, AlgoRestricted2, 256, TierWide) }
+func BenchmarkKernelRestricted2Narrow(b *testing.B) { benchKernel(b, AlgoRestricted2, 256, TierNarrow) }
+func BenchmarkKernelStandard3Wide(b *testing.B)     { benchKernel(b, AlgoStandard3, 0, TierWide) }
+func BenchmarkKernelStandard3Narrow(b *testing.B)   { benchKernel(b, AlgoStandard3, 0, TierNarrow) }
+func BenchmarkKernelAffineWide(b *testing.B)        { benchKernel(b, AlgoAffine, 0, TierWide) }
+func BenchmarkKernelAffineNarrow(b *testing.B)      { benchKernel(b, AlgoAffine, 0, TierNarrow) }
+
+// TestKernelLoopsAllocationFree pins the alloc regression: with a warm
+// workspace, no variant may allocate per extension on either tier.
+func TestKernelLoopsAllocationFree(t *testing.T) {
+	h, v := benchKernelPair(2000, 0.15)
+	hv, vv := NewView(h), NewView(v)
+	for _, algo := range []Algo{AlgoRestricted2, AlgoStandard3, AlgoAffine} {
+		for _, tier := range []Tier{TierWide, TierNarrow, TierAuto} {
+			p := Params{Scorer: scoring.DNADefault, Gap: -1, GapOpen: -2, X: 15, DeltaB: 256, Algo: algo, Tier: tier}
+			var ws Workspace
+			ws.align(hv, vv, p)
+			if n := testing.AllocsPerRun(10, func() { ws.align(hv, vv, p) }); n != 0 {
+				t.Errorf("%v/%v: %.0f allocs per warm extension, want 0", algo, tier, n)
+			}
+		}
+	}
+}

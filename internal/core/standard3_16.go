@@ -1,0 +1,302 @@
+package core
+
+// standard3Narrow is the int16 tier of Standard3 (see dp16.go for the
+// tier and bit-identity contract). The three-buffer rotation means the
+// write target never aliases a read buffer, so the four-lane interior
+// loop needs no load/store ordering care at all. ok is false when the
+// saturation guard fired and the caller must promote to the wide tier.
+func (w *Workspace) standard3Narrow(h, v View, p Params) (Result, bool) {
+	m, n := h.Len(), v.Len()
+	delta := min(m, n) + 1
+	w.nb0 = growBuf16(w.nb0, delta)
+	w.nb1 = growBuf16(w.nb1, delta)
+	w.nb2 = growBuf16(w.nb2, delta)
+
+	res := Result{Stats: Stats{
+		TheoreticalCells: int64(m) * int64(n),
+		WorkBytes:        3 * delta * narrowScoreBytes,
+		Narrow:           true,
+	}}
+
+	tab := p.Scorer.Table()
+	gap := int16(p.Gap)
+	hb, vb := h.data, v.data
+	hStep, hOrg := h.dir()
+	vStep, vD, vOrg := v.vdir()
+
+	d1b, d2b, out := w.nb1, w.nb2, w.nb0
+	seedDiag16(d1b, 0)
+	seedDiag16(d2b, negInf16)
+	d1cl, d1lo, d1hi := 0, 0, 0
+	d2cl := 0
+
+	var acc statAcc
+	acc.observe(1, 1)
+
+	best, t := int16(0), int16(0)
+	bestI, bestD := 0, 0
+
+	for d := 1; d <= m+n; d++ {
+		cl := max(d1lo, max(0, d-n))
+		cu := min(d1hi+1, min(d, m))
+		if cl > cu {
+			break
+		}
+		limit := pruneLimit16(t, p.X)
+		rowBest := negInf16
+		lo, hi := -1, -1
+		o1 := bufPad - d1cl
+		o2 := bufPad - d2cl
+		oo := bufPad - cl
+
+		i := cl
+		if i == 0 {
+			// Top boundary (j = d): only the vertical gap move exists.
+			s := d1b[o1] + gap
+			if s < limit {
+				s = negInf16
+			}
+			if s > rowBest {
+				rowBest = s
+			}
+			out[oo] = s
+			i = 1
+		}
+		iB := cu
+		peelDiag := cu == d // bottom boundary cell (j = 0) exists
+		if peelDiag {
+			iB = cu - 1
+		}
+		if cnt := iB - i + 1; cnt > 0 {
+			base := i
+			outRow := out[base+oo:][:cnt]
+			d2v := d2b[base-1+o2:][:cnt]
+			d1r := d1b[base+o1:][:cnt]
+			dlv := d1b[base-1+o1]
+			rb0, rb1 := rowBest, negInf16
+			rb2, rb3 := negInf16, negInf16
+			switch {
+			case !h.rev && !v.rev:
+				hRow := hb[base-1:][:cnt]
+				vRow := vb[d-base-cnt:][:cnt]
+				k := 0
+				for ; k+3 < cnt; k += 4 {
+					r0, r1, r2, r3 := d1r[k], d1r[k+1], d1r[k+2], d1r[k+3]
+					s0 := d2v[k] + int16(tab[hRow[k]][vRow[cnt-1-k]])
+					s1 := d2v[k+1] + int16(tab[hRow[k+1]][vRow[cnt-2-k]])
+					s2 := d2v[k+2] + int16(tab[hRow[k+2]][vRow[cnt-3-k]])
+					s3 := d2v[k+3] + int16(tab[hRow[k+3]][vRow[cnt-4-k]])
+					if g := max(dlv, r0) + gap; g > s0 {
+						s0 = g
+					}
+					if g := max(r0, r1) + gap; g > s1 {
+						s1 = g
+					}
+					if g := max(r1, r2) + gap; g > s2 {
+						s2 = g
+					}
+					if g := max(r2, r3) + gap; g > s3 {
+						s3 = g
+					}
+					if s0 < limit {
+						s0 = negInf16
+					}
+					if s1 < limit {
+						s1 = negInf16
+					}
+					if s2 < limit {
+						s2 = negInf16
+					}
+					if s3 < limit {
+						s3 = negInf16
+					}
+					if s0 > rb0 {
+						rb0 = s0
+					}
+					if s1 > rb1 {
+						rb1 = s1
+					}
+					if s2 > rb2 {
+						rb2 = s2
+					}
+					if s3 > rb3 {
+						rb3 = s3
+					}
+					outRow[k] = s0
+					outRow[k+1] = s1
+					outRow[k+2] = s2
+					outRow[k+3] = s3
+					dlv = r3
+				}
+				for ; k < cnt; k++ {
+					s := d2v[k] + int16(tab[hRow[k]][vRow[cnt-1-k]])
+					drv := d1r[k]
+					if g := max(dlv, drv) + gap; g > s {
+						s = g
+					}
+					dlv = drv
+					if s < limit {
+						s = negInf16
+					}
+					if s > rb0 {
+						rb0 = s
+					}
+					outRow[k] = s
+				}
+			case h.rev && v.rev:
+				hRow := hb[m-base-cnt+1:][:cnt]
+				vRow := vb[n-d+base:][:cnt]
+				k := 0
+				for ; k+3 < cnt; k += 4 {
+					r0, r1, r2, r3 := d1r[k], d1r[k+1], d1r[k+2], d1r[k+3]
+					s0 := d2v[k] + int16(tab[hRow[cnt-1-k]][vRow[k]])
+					s1 := d2v[k+1] + int16(tab[hRow[cnt-2-k]][vRow[k+1]])
+					s2 := d2v[k+2] + int16(tab[hRow[cnt-3-k]][vRow[k+2]])
+					s3 := d2v[k+3] + int16(tab[hRow[cnt-4-k]][vRow[k+3]])
+					if g := max(dlv, r0) + gap; g > s0 {
+						s0 = g
+					}
+					if g := max(r0, r1) + gap; g > s1 {
+						s1 = g
+					}
+					if g := max(r1, r2) + gap; g > s2 {
+						s2 = g
+					}
+					if g := max(r2, r3) + gap; g > s3 {
+						s3 = g
+					}
+					if s0 < limit {
+						s0 = negInf16
+					}
+					if s1 < limit {
+						s1 = negInf16
+					}
+					if s2 < limit {
+						s2 = negInf16
+					}
+					if s3 < limit {
+						s3 = negInf16
+					}
+					if s0 > rb0 {
+						rb0 = s0
+					}
+					if s1 > rb1 {
+						rb1 = s1
+					}
+					if s2 > rb2 {
+						rb2 = s2
+					}
+					if s3 > rb3 {
+						rb3 = s3
+					}
+					outRow[k] = s0
+					outRow[k+1] = s1
+					outRow[k+2] = s2
+					outRow[k+3] = s3
+					dlv = r3
+				}
+				for ; k < cnt; k++ {
+					s := d2v[k] + int16(tab[hRow[cnt-1-k]][vRow[k]])
+					drv := d1r[k]
+					if g := max(dlv, drv) + gap; g > s {
+						s = g
+					}
+					dlv = drv
+					if s < limit {
+						s = negInf16
+					}
+					if s > rb0 {
+						rb0 = s
+					}
+					outRow[k] = s
+				}
+			default:
+				// Mixed-direction views: generic index cursors.
+				hIdx := hOrg + hStep*base
+				vIdx := vOrg + vD*d + vStep*base
+				for k := range outRow {
+					s := d2v[k] + int16(tab[hb[hIdx]][vb[vIdx]])
+					hIdx += hStep
+					vIdx += vStep
+					drv := d1r[k]
+					if g := max(dlv, drv) + gap; g > s {
+						s = g
+					}
+					dlv = drv
+					if s < limit {
+						s = negInf16
+					}
+					if s > rb0 {
+						rb0 = s
+					}
+					outRow[k] = s
+				}
+			}
+			rowBest = max(max(rb0, rb1), max(rb2, rb3))
+			i = iB + 1
+		}
+		if peelDiag {
+			// Bottom boundary (j = 0): only the horizontal gap move.
+			s := d1b[i-1+o1] + gap
+			if s < limit {
+				s = negInf16
+			}
+			if s > rowBest {
+				rowBest = s
+			}
+			out[i+oo] = s
+		}
+		if rowBest > satGuard16 {
+			return Result{}, false
+		}
+		width := cu - cl + 1
+		setGuards16(out, width)
+
+		row := out[bufPad:][:width]
+		for k := 0; k < width; k++ {
+			if row[k] != negInf16 {
+				lo = cl + k
+				break
+			}
+		}
+		rowBestI := -1
+		if lo >= 0 {
+			for k := width - 1; ; k-- {
+				if row[k] != negInf16 {
+					hi = cl + k
+					break
+				}
+			}
+			for k := lo - cl; ; k++ {
+				if row[k] == rowBest {
+					rowBestI = cl + k
+					break
+				}
+			}
+		}
+
+		liveW := 0
+		if lo >= 0 {
+			liveW = hi - lo + 1
+		}
+		acc.observe(width, liveW)
+		if lo < 0 {
+			break
+		}
+		if rowBest > best {
+			best, bestI, bestD = rowBest, rowBestI, d
+		}
+		if rowBest > t {
+			t = rowBest
+		}
+		d2b, d1b, out = d1b, out, d2b
+		d2cl = d1cl
+		d1cl, d1lo, d1hi = cl, lo, hi
+	}
+
+	acc.flush(&res.Stats)
+	res.Score = int(best)
+	res.EndH = bestI
+	res.EndV = bestD - bestI
+	return res, true
+}

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/sram-align/xdropipu/internal/core"
 	"github.com/sram-align/xdropipu/internal/ipu"
 	"github.com/sram-align/xdropipu/internal/ipukernel"
 	"github.com/sram-align/xdropipu/internal/metrics"
@@ -76,6 +77,15 @@ type Config struct {
 	// never serves CIGAR-less entries to a traceback-enabled run (or vice
 	// versa). Off, reports are bit-identical to the score-only stack.
 	Traceback bool
+	// KernelTier selects the kernel score width (core.TierWide, the
+	// int32 default; core.TierNarrow, int16 with transparent saturation
+	// promotion; core.TierAuto, int16 only under the headroom proof).
+	// Normalized folds it with Kernel.KernelTier — whichever knob is
+	// non-wide wins — and the choice is part of KernelFingerprint, so a
+	// shared result cache never mixes tiers even though completed narrow
+	// results are bit-identical to wide ones: the tiers differ in trace
+	// accounting (Stats.WorkBytes), not alignments.
+	KernelTier core.Tier
 	// Faults, when non-nil, installs deterministic fault injection at the
 	// ExecBatch boundary: transient and permanent execution failures plus
 	// straggler latency, decided per (batch, attempt) from the plan's
@@ -156,6 +166,12 @@ func KernelFingerprint(cfg ipukernel.Config, model platform.IPUModel) uint64 {
 		flags |= 8
 	}
 	put(flags)
+	// The resolved kernel tier: completed narrow alignments are
+	// bit-identical to wide ones, but the tiers' trace accounting
+	// (Stats.WorkBytes, promotion counters) differs, so cached entries
+	// must not cross tiers. Resolved (not raw) so the two equivalent
+	// knobs — Config.KernelTier and Params.Tier — never alias apart.
+	put(int64(cfg.Tier()))
 	if p.Scorer != nil {
 		tab := p.Scorer.Table()
 		row := make([]byte, len(tab[0]))
@@ -200,6 +216,8 @@ type Plan struct {
 	// traceback accounting
 	peakTraceBytes int
 	traceBytes     int64
+	// kernel-tier accounting
+	narrowExt, wideExt, promotedExt int
 	// degraded completion accounting
 	partialFailures int
 }
@@ -275,6 +293,12 @@ type Report struct {
 	// forever. Zero on any non-degraded run; Results entries with Failed
 	// set carry no scores or coordinates.
 	PartialFailures int
+	// Kernel-tier accounting over executed extensions (cache-served and
+	// deduped comparisons contribute nothing — no kernel ran for them).
+	// NarrowExtensions completed on the int16 tier, PromotedExtensions
+	// saturated int16 and transparently re-ran wide, WideExtensions ran
+	// int32 outright; the three are disjoint.
+	NarrowExtensions, WideExtensions, PromotedExtensions int
 }
 
 // GCUPS returns the paper's metric over the chosen time base.
@@ -308,6 +332,12 @@ func (c Config) Normalized() Config {
 	// one flag no matter which level enabled it. Idempotent.
 	c.Kernel.Traceback = c.Kernel.Traceback || c.Traceback
 	c.Traceback = c.Kernel.Traceback
+	// Same for the kernel tier: non-wide wins, mirrored on both knobs.
+	if c.KernelTier == core.TierWide {
+		c.KernelTier = c.Kernel.Tier()
+	}
+	c.Kernel.KernelTier = c.KernelTier
+	c.Kernel.Params.Tier = c.KernelTier
 	return c
 }
 
@@ -721,6 +751,9 @@ func AssemblePlan(bp *BatchPlan, outs []*ipukernel.BatchResult) (*Plan, error) {
 		p.stealOps += res.StealOps
 		p.skippedCells += res.DedupSkippedCells
 		p.traceBytes += res.TraceBytes
+		p.narrowExt += res.NarrowExtensions
+		p.wideExt += res.WideExtensions
+		p.promotedExt += res.PromotedExtensions
 		if res.PeakTraceBytes > p.peakTraceBytes {
 			p.peakTraceBytes = res.PeakTraceBytes
 		}
@@ -855,6 +888,9 @@ func (p *Plan) Schedule(ipus int) *Report {
 		PeakTracebackBytes:      p.peakTraceBytes,
 		TracebackBytes:          p.traceBytes,
 		PartialFailures:         p.partialFailures,
+		NarrowExtensions:        p.narrowExt,
+		WideExtensions:          p.wideExt,
+		PromotedExtensions:      p.promotedExt,
 	}
 	overhead := p.cfg.BatchOverheadSeconds
 	if overhead <= 0 {

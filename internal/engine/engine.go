@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/sram-align/xdropipu/internal/core"
 	"github.com/sram-align/xdropipu/internal/driver"
 	"github.com/sram-align/xdropipu/internal/ipu"
 	"github.com/sram-align/xdropipu/internal/ipukernel"
@@ -112,6 +113,9 @@ type Engine struct {
 	doneJobs    int64
 	doneBatches int64
 	doneCells   int64
+	stNarrow    int64
+	stWide      int64
+	stPromoted  int64
 	stRetries   int64
 	stHedges    int64
 	stQuarant   int64
@@ -191,6 +195,17 @@ func WithResultCache(entries int) Option {
 // back out to every duplicate comparison, and the cache keys include the
 // traceback flag so score-only and traceback runs never share entries.
 func WithTraceback(on bool) Option { return func(e *Engine) { e.cfg.Traceback = on } }
+
+// WithKernelTier selects the kernel score width for every job the engine
+// serves: core.TierWide (the int32 default), core.TierNarrow (int16
+// kernels with transparent promotion to int32 on saturation) or
+// core.TierAuto (int16 only when the headroom precheck proves saturation
+// impossible, halving the DP working set the SRAM budget must hold).
+// Per-comparison results are bit-identical across tiers; only the
+// Narrow/Wide/PromotedExtensions counters and the modeled SRAM differ.
+// The tier is part of the kernel fingerprint, so a shared result cache
+// never mixes tiers.
+func WithKernelTier(t core.Tier) Option { return func(e *Engine) { e.cfg.KernelTier = t } }
 
 // WithRetry enables per-batch retry of transient execution failures:
 // a batch whose attempt fails with a transient fault (a fault plan's
@@ -358,21 +373,31 @@ type Stats struct {
 	// DeadlineExceeded counts jobs whose WithJobDeadline expired with
 	// work outstanding.
 	DeadlineExceeded int64
+	// Kernel-tier counters over every executed extension (disjoint;
+	// cache-served and deduped comparisons execute nothing and count
+	// nowhere): NarrowExtensions completed on the int16 tier,
+	// PromotedExtensions saturated int16 and re-ran wide,
+	// WideExtensions ran int32 outright. All zero until a job opts into
+	// WithKernelTier (or a narrow driver/kernel config).
+	NarrowExtensions, WideExtensions, PromotedExtensions int64
 }
 
 // Stats returns engine-lifetime counters.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	st := Stats{
-		JobsDone:         e.doneJobs,
-		BatchesDone:      e.doneBatches,
-		CellsDone:        e.doneCells,
-		JobsLive:         e.live,
-		InflightBatches:  e.busy,
-		Retries:          e.stRetries,
-		Hedges:           e.stHedges,
-		Quarantined:      e.stQuarant,
-		DeadlineExceeded: e.stDeadline,
+		JobsDone:           e.doneJobs,
+		BatchesDone:        e.doneBatches,
+		CellsDone:          e.doneCells,
+		JobsLive:           e.live,
+		InflightBatches:    e.busy,
+		NarrowExtensions:   e.stNarrow,
+		WideExtensions:     e.stWide,
+		PromotedExtensions: e.stPromoted,
+		Retries:            e.stRetries,
+		Hedges:             e.stHedges,
+		Quarantined:        e.stQuarant,
+		DeadlineExceeded:   e.stDeadline,
 	}
 	e.mu.Unlock()
 	if f := e.cfg.Faults; f != nil {
@@ -654,7 +679,7 @@ func (e *Engine) executor() {
 			}
 			e.cond.Wait()
 		}
-		_ = hedge // a hedge runs exactly like any other attempt
+		_ = hedge                          // a hedge runs exactly like any other attempt
 		attempt := int(j.attempts[bi]) - 1 // issueLocked counted this issue
 		fallback := j.fallback[bi]
 		e.pruneLocked()
@@ -781,6 +806,9 @@ func (e *Engine) deliver(j *Job, bi int, out *ipukernel.BatchResult, err error, 
 	j.done++
 	e.doneBatches++
 	e.doneCells += out.Cells
+	e.stNarrow += int64(out.NarrowExtensions)
+	e.stWide += int64(out.WideExtensions)
+	e.stPromoted += int64(out.PromotedExtensions)
 	if j.streaming {
 		if !streaming {
 			upd = streamUpdate(j, bi, out)

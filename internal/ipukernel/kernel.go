@@ -171,11 +171,22 @@ type Config struct {
 	// the score-only kernel. Trace memory stays bounded by the live
 	// window band (2 bits per banded cell for the linear variants, 4 for
 	// affine), never by the full matrix; the peak single-extension
-	// footprint surfaces as BatchResult.PeakTraceBytes. It is reported
-	// alongside — not folded into — the TileMemoryBytes SRAM gate, since
-	// a thread holds only one extension's trace at a time and releases it
-	// once the CIGAR is emitted.
+	// footprint surfaces as BatchResult.PeakTraceBytes. Replays are
+	// modeled as serialized through one per-tile trace arena (a replay
+	// holds the arena only while its CIGAR is emitted, and the scoring
+	// pass of other units proceeds meanwhile), so TileMemoryBytes folds a
+	// single arena allowance — ExtensionTraceBytes of the tile's worst
+	// extension — into the SRAM gate alongside the DP buffers, making
+	// traceback runs SRAM-certified end-to-end.
 	Traceback bool
+	// KernelTier selects the kernel score width: core.TierWide (the
+	// default int32 kernels), core.TierNarrow (attempt int16 with runtime
+	// saturation promotion) or core.TierAuto (int16 only when the
+	// headroom precheck proves saturation impossible). Folded with
+	// Params.Tier — whichever knob is non-wide wins — so driver-level and
+	// kernel-level configuration agree everywhere the config flows
+	// (fingerprints, SRAM model, execution).
+	KernelTier core.Tier
 	// Cost is the instruction cost model (zero value → calibrated
 	// defaults).
 	Cost platform.KernelCost
@@ -202,50 +213,141 @@ func (c Config) withDefaults(m platform.IPUModel) Config {
 	if c.Cost == (platform.KernelCost{}) {
 		c.Cost = platform.DefaultKernelCost
 	}
+	// Fold the two tier knobs into one (non-wide wins) and mirror the
+	// result on both, so the core dispatch and every SRAM consumer see
+	// the same choice. Idempotent.
+	c.KernelTier = c.Tier()
+	c.Params.Tier = c.KernelTier
 	return c
 }
 
-// WorkBufBytesPerThread returns the per-thread DP buffer footprint for the
-// configured algorithm given the largest min(m,n) among a tile's
-// extensions. This is the quantity the 55× claim compares: Standard3
-// needs 3δ scores, Restricted2 needs 2δb (§3).
-func (c Config) WorkBufBytesPerThread(maxMinLen int) int {
+// Tier resolves the effective kernel tier from the two equivalent knobs
+// (KernelTier and Params.Tier; non-wide wins) without requiring the
+// defaults pass first — partition and the driver consult the SRAM model
+// and fingerprints on raw configs.
+func (c Config) Tier() core.Tier {
+	if c.KernelTier != core.TierWide {
+		return c.KernelTier
+	}
+	return c.Params.Tier
+}
+
+// bufCellsPerThread returns the per-thread DP window size in score cells
+// for the configured algorithm given the largest min(m,n) among a tile's
+// extensions: Standard3 needs 3δ scores, Restricted2 needs 2δb (§3).
+func (c Config) bufCellsPerThread(maxMinLen int) int {
 	delta := maxMinLen + 1
 	switch c.Params.Algo {
 	case core.AlgoStandard3:
-		return 3 * delta * 4
+		return 3 * delta
 	case core.AlgoAffine:
-		return 7 * delta * 4
+		return 7 * delta
 	case core.AlgoReference:
 		// Full matrix; present for completeness, never tile-feasible
 		// beyond toy sizes.
-		return delta * delta * 4
+		return delta * delta
 	default:
 		db := c.Params.DeltaB
 		if db <= 0 || db > delta {
 			db = delta
 		}
-		return 2 * db * 4
+		return 2 * db
 	}
+}
+
+// WorkBufBytesPerThread returns the per-thread DP buffer footprint for
+// the configured algorithm and kernel tier given the largest min(m,n)
+// among a tile's extensions. This is the quantity the 55× claim
+// compares. The tier shapes it as the executing workspaces actually
+// allocate:
+//
+//   - TierWide (or narrow-ineligible parameters): int32 buffers only.
+//   - TierNarrow: int16 buffers plus the full int32 set — a saturating
+//     extension promotes mid-batch and the wide buffers must already fit.
+//   - TierAuto: when every admissible extension passes the headroom
+//     precheck (maxMinLen within core.NarrowCapLen), int16 buffers only —
+//     Auto never promotes, so this is certifiable and is the tier's SRAM
+//     win. A mixed tile provisions wide buffers for the over-cap jobs
+//     plus int16 buffers sized to the largest headroom-certified job.
+func (c Config) WorkBufBytesPerThread(maxMinLen int) int {
+	wide := c.bufCellsPerThread(maxMinLen) * core.WideScoreBytes
+	if c.Params.Algo == core.AlgoReference || !c.Params.NarrowEligible() {
+		return wide
+	}
+	switch c.Tier() {
+	case core.TierNarrow:
+		return wide + c.bufCellsPerThread(maxMinLen)*core.NarrowScoreBytes
+	case core.TierAuto:
+		if c.Params.Scorer == nil {
+			return wide
+		}
+		capLen := core.NarrowCapLen(c.Params.Scorer.MaxScore())
+		if maxMinLen <= capLen {
+			return c.bufCellsPerThread(maxMinLen) * core.NarrowScoreBytes
+		}
+		return wide + c.bufCellsPerThread(capLen)*core.NarrowScoreBytes
+	default:
+		return wide
+	}
+}
+
+// ExtensionTraceBytes bounds the direction-trace footprint of one
+// traceback replay over an extension with side lengths lh×lv: packed
+// per-cell codes (2 bits per banded cell, 4 for affine) over at most
+// lh+lv+1 antidiagonal windows, each at most the band wide (δb-capped
+// for Restricted2) and collectively at most the full matrix, plus the
+// 8-byte-per-antidiagonal window index. The bound dominates the exact
+// tracer footprint (core.Trace.TraceBytes) for every input; zero with
+// Config.Traceback off.
+func (c Config) ExtensionTraceBytes(lh, lv int) int {
+	if !c.Traceback || lh < 0 || lv < 0 {
+		return 0
+	}
+	antid := lh + lv + 1
+	bandw := min(lh, lv) + 1
+	switch c.Params.Algo {
+	case core.AlgoStandard3, core.AlgoAffine, core.AlgoReference:
+	default:
+		if db := c.Params.DeltaB; db > 0 && db < bandw {
+			bandw = db
+		}
+	}
+	cells := int64(antid) * int64(bandw)
+	if full := int64(lh+1) * int64(lv+1); full < cells {
+		cells = full
+	}
+	bits := int64(2)
+	if c.Params.Algo == core.AlgoAffine {
+		bits = 4
+	}
+	return int((cells*bits+7)/8) + 8*(antid+1)
 }
 
 // TileMemoryBytes returns the SRAM footprint of a tile's work under the
 // kernel configuration: sequences, descriptors, job tuples, per-thread DP
-// buffers and result slots.
+// buffers (tier-aware), result slots, and — with traceback on — one
+// shared trace-arena allowance covering the tile's worst extension.
 func (c Config) TileMemoryBytes(t *TileWork, model platform.IPUModel) int {
 	cc := c.withDefaults(model)
-	maxMin := 0
+	maxMin, maxTrace := 0, 0
 	for _, j := range t.Jobs {
 		hn, vn := int(t.Seqs[j.HLocal].Len), int(t.Seqs[j.VLocal].Len)
 		// The larger extension side bounds δ for this job.
+		rh, rv := hn-j.SeedH-j.SeedLen, vn-j.SeedV-j.SeedLen
 		l := min(j.SeedH, j.SeedV)
-		r := min(hn-j.SeedH-j.SeedLen, vn-j.SeedV-j.SeedLen)
+		r := min(rh, rv)
 		maxMin = max(maxMin, l, r)
+		if cc.Traceback {
+			maxTrace = max(maxTrace,
+				cc.ExtensionTraceBytes(j.SeedH, j.SeedV),
+				cc.ExtensionTraceBytes(rh, rv))
+		}
 	}
 	return t.SeqBytes() +
 		len(t.Seqs)*seqDescrBytes +
 		len(t.Jobs)*JobTupleBytes +
 		cc.Threads*cc.WorkBufBytesPerThread(maxMin) +
+		maxTrace +
 		len(t.Jobs)*ResultBytes +
 		batchHdrBytes
 }
@@ -327,6 +429,16 @@ type BatchResult struct {
 	// trace storage across all the batch's extensions.
 	PeakTraceBytes int
 	TraceBytes     int64
+	// Kernel-tier accounting, one count per executed extension (an
+	// LRSplit comparison contributes two). NarrowExtensions completed on
+	// the int16 tier; PromotedExtensions saturated the int16 kernel and
+	// transparently re-ran wide; WideExtensions ran int32 outright
+	// (TierWide, narrow-ineligible parameters, or an Auto headroom
+	// refusal). The three are disjoint and sum to the executed
+	// extensions.
+	NarrowExtensions   int
+	WideExtensions     int
+	PromotedExtensions int
 }
 
 // GCUPSDenominatorSeconds returns on-device compute seconds — the time
@@ -368,6 +480,9 @@ func Run(dev *ipu.Device, b *Batch, cfg Config) (*BatchResult, error) {
 		peakTrace    int
 		traceBytes   int64
 		cigarBytes   int64
+		narrowExt    int
+		wideExt      int
+		promotedExt  int
 		err          error
 	}
 	stats := make([]tileStats, len(b.Tiles))
@@ -420,6 +535,9 @@ func Run(dev *ipu.Device, b *Batch, cfg Config) (*BatchResult, error) {
 				st.peakTrace = tr.peakTrace
 				st.traceBytes = tr.traceBytes
 				st.cigarBytes = tr.cigarBytes
+				st.narrowExt = tr.narrowExt
+				st.wideExt = tr.wideExt
+				st.promotedExt = tr.promotedExt
 				st.err = tr.err
 			}
 		}()
@@ -446,6 +564,9 @@ func Run(dev *ipu.Device, b *Batch, cfg Config) (*BatchResult, error) {
 			res.PeakTraceBytes = st.peakTrace
 		}
 		res.TraceBytes += st.traceBytes
+		res.NarrowExtensions += st.narrowExt
+		res.WideExtensions += st.wideExt
+		res.PromotedExtensions += st.promotedExt
 		if st.sram > maxSRAM {
 			maxSRAM = st.sram
 		}

@@ -38,6 +38,12 @@ type tileResult struct {
 	peakTrace  int
 	traceBytes int64
 	cigarBytes int64
+	// Kernel-tier accounting per executed extension (disjoint): completed
+	// on the int16 tier, saturated-and-promoted to int32, or ran int32
+	// outright.
+	narrowExt   int
+	wideExt     int
+	promotedExt int
 	// err records a traceback divergence (replay not bit-matching the
 	// score pass) — a kernel bug surfaced loudly instead of shipping a
 	// wrong alignment.
@@ -342,6 +348,14 @@ func accumulate(o *AlignOut, tr *tileResult, s core.Stats) {
 	tr.cells += s.Cells
 	tr.sumBand += s.SumComputedBand
 	tr.antidiag += int64(s.Antidiagonals)
+	switch {
+	case s.Narrow:
+		tr.narrowExt++
+	case s.Promoted:
+		tr.promotedExt++
+	default:
+		tr.wideExt++
+	}
 }
 
 // instrCost converts an extension trace into thread-instruction bundles

@@ -260,19 +260,40 @@ func MaxMinExtension(d *workload.Dataset) int {
 	return mm
 }
 
+// maxTraceAllowance returns the per-tile trace-arena allowance the
+// kernel SRAM model charges for the dataset's worst single extension —
+// zero with traceback off. Kept in lockstep with TileMemoryBytes so a
+// budget derived here always admits tiles the gate accepts.
+func maxTraceAllowance(d *workload.Dataset, cfg ipukernel.Config) int {
+	if !cfg.Traceback {
+		return 0
+	}
+	arena, plan := d.Spine()
+	refs := arena.Refs()
+	mt := 0
+	for ci := 0; ci < plan.Len(); ci++ {
+		if v := cmpMaxTrace(refs, plan.At(ci), cfg); v > mt {
+			mt = v
+		}
+	}
+	return mt
+}
+
 // DeriveSeqBudget computes the per-partition sequence budget for a dataset
 // under a kernel configuration: tile SRAM minus the thread work buffers
-// the configured algorithm needs for the dataset's largest extension,
-// minus a small allowance for tuples and results. It fails when the work
-// buffers alone exceed tile SRAM — which is precisely what happens to the
-// unrestricted algorithms on long reads (§3) and what δb fixes.
+// the configured algorithm and kernel tier need for the dataset's largest
+// extension, minus (with traceback on) the shared trace-arena allowance
+// for the worst extension, minus a small allowance for tuples and
+// results. It fails when the per-tile buffers alone exceed tile SRAM —
+// which is precisely what happens to the unrestricted algorithms on long
+// reads (§3) and what δb fixes.
 func DeriveSeqBudget(d *workload.Dataset, cfg ipukernel.Config, model platform.IPUModel) (int, error) {
 	threads := cfg.Threads
 	if threads <= 0 || threads > model.ThreadsPerTile {
 		threads = model.ThreadsPerTile
 	}
 	const allowance = 8 * 1024
-	bufs := threads * cfg.WorkBufBytesPerThread(MaxMinExtension(d))
+	bufs := threads*cfg.WorkBufBytesPerThread(MaxMinExtension(d)) + maxTraceAllowance(d, cfg)
 	budget := model.DataSRAM() - bufs - allowance
 	if budget <= 0 {
 		return 0, fmt.Errorf(
@@ -291,6 +312,7 @@ type tileBuilder struct {
 	load     float64
 	seqBytes int
 	maxMin   int
+	maxTrace int
 }
 
 func newTileBuilder(slab []byte) *tileBuilder {
@@ -310,16 +332,20 @@ func (tb *tileBuilder) memoryWith(refs []workload.SeqRef, plan *workload.Plan, i
 		}
 	}
 	nJobs := len(tb.work.Jobs) + len(it.Cmps)
-	maxMin := tb.maxMin
+	maxMin, maxTrace := tb.maxMin, tb.maxTrace
 	// Same comparison source as add(): admission and placement must
 	// agree on seed geometry.
 	for _, ci := range it.Cmps {
-		if mm := cmpMaxMin(refs, plan.At(ci)); mm > maxMin {
+		c := plan.At(ci)
+		if mm := cmpMaxMin(refs, c); mm > maxMin {
 			maxMin = mm
+		}
+		if mt := cmpMaxTrace(refs, c, cfg); mt > maxTrace {
+			maxTrace = mt
 		}
 	}
 	return seqBytes + nSeqs*8 + nJobs*ipukernel.JobTupleBytes +
-		threads*cfg.WorkBufBytesPerThread(maxMin) +
+		threads*cfg.WorkBufBytesPerThread(maxMin) + maxTrace +
 		nJobs*ipukernel.ResultBytes + 64
 }
 
@@ -333,7 +359,17 @@ func cmpMaxMin(refs []workload.SeqRef, c workload.Comparison) int {
 	return max(min(c.SeedH, c.SeedV), min(rh, rv))
 }
 
-func (tb *tileBuilder) add(refs []workload.SeqRef, plan *workload.Plan, it *Item, fanout []int32) {
+// cmpMaxTrace is the traceback analogue of cmpMaxMin: the larger of the
+// two extensions' direction-trace allowances under the kernel's bound
+// (zero with traceback off).
+func cmpMaxTrace(refs []workload.SeqRef, c workload.Comparison, cfg ipukernel.Config) int {
+	rh := int(refs[c.H].Len) - c.SeedH - c.SeedLen
+	rv := int(refs[c.V].Len) - c.SeedV - c.SeedLen
+	return max(cfg.ExtensionTraceBytes(c.SeedH, c.SeedV),
+		cfg.ExtensionTraceBytes(rh, rv))
+}
+
+func (tb *tileBuilder) add(refs []workload.SeqRef, plan *workload.Plan, it *Item, cfg ipukernel.Config, fanout []int32) {
 	for _, s := range it.Seqs {
 		if _, ok := tb.localIdx[s]; !ok || it.Copies {
 			tb.localIdx[s] = len(tb.work.Seqs)
@@ -355,6 +391,9 @@ func (tb *tileBuilder) add(refs []workload.SeqRef, plan *workload.Plan, it *Item
 		tb.work.Jobs = append(tb.work.Jobs, job)
 		if mm := cmpMaxMin(refs, c); mm > tb.maxMin {
 			tb.maxMin = mm
+		}
+		if mt := cmpMaxTrace(refs, c, cfg); mt > tb.maxTrace {
+			tb.maxTrace = mt
 		}
 	}
 	tb.load += it.Cost
@@ -447,7 +486,7 @@ func MakeBatchesFanout(d *workload.Dataset, items []Item, tiles int, cfg ipukern
 				}
 			}
 			if best >= 0 {
-				builders[best].add(refs, plan, it, fanout)
+				builders[best].add(refs, plan, it, cfg, fanout)
 				batchJobs += len(it.Cmps)
 				placed = true
 				break

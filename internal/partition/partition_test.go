@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/sram-align/xdropipu/internal/core"
+	"github.com/sram-align/xdropipu/internal/ipu"
 	"github.com/sram-align/xdropipu/internal/ipukernel"
 	"github.com/sram-align/xdropipu/internal/platform"
 	"github.com/sram-align/xdropipu/internal/scoring"
@@ -370,5 +371,64 @@ func TestDeriveSeqBudget(t *testing.T) {
 	cfg.Params.DeltaB = 0 // unbounded restricted: 2δ also too large for 6 threads
 	if _, err := DeriveSeqBudget(d, cfg, platform.GC200); err == nil {
 		t.Fatal("unbounded 2δ buffers on 25kb reads should not fit six threads")
+	}
+}
+
+// TestTracebackBudgetAdmitsWithinSRAM pins ROADMAP item (a): with
+// traceback enabled, the derived sequence budget must only admit tiles
+// whose full SRAM model — work buffers plus the shared trace arena —
+// fits the device, and the modeled arena allowance must dominate the
+// peak trace footprint the kernel actually records while replaying
+// extensions. Exercised across every kernel tier so the narrow-tier
+// working-set savings never under-charge the trace arena.
+func TestTracebackBudgetAdmitsWithinSRAM(t *testing.T) {
+	for _, tier := range []core.Tier{core.TierWide, core.TierNarrow, core.TierAuto} {
+		d := readsData(t, 11)
+		cfg := testKernelCfg()
+		cfg.Traceback = true
+		cfg.KernelTier = tier
+		budget, err := DeriveSeqBudget(d, cfg, platform.GC200)
+		if err != nil {
+			t.Fatalf("tier %v: %v", tier, err)
+		}
+		// MaxCmps mirrors the driver's spread cap: it also keeps the
+		// per-item tuple/result overhead inside the budget allowance.
+		items := BuildItems(d, Options{SeqBudget: budget, Reuse: true, MaxCmps: 64})
+		batches, err := MakeBatches(d, items, 8, cfg, platform.GC200)
+		if err != nil {
+			t.Fatalf("tier %v: %v", tier, err)
+		}
+		for _, b := range batches {
+			allowance := 0
+			for ti := range b.Tiles {
+				tw := &b.Tiles[ti]
+				if mem := cfg.TileMemoryBytes(tw, platform.GC200); mem > platform.GC200.DataSRAM() {
+					t.Fatalf("tier %v: admitted tile needs %d B of the %d B SRAM",
+						tier, mem, platform.GC200.DataSRAM())
+				}
+				for _, j := range tw.Jobs {
+					hn, vn := int(tw.Seqs[j.HLocal].Len), int(tw.Seqs[j.VLocal].Len)
+					for _, tb := range []int{
+						cfg.ExtensionTraceBytes(j.SeedH, j.SeedV),
+						cfg.ExtensionTraceBytes(hn-j.SeedH-j.SeedLen, vn-j.SeedV-j.SeedLen),
+					} {
+						if tb > allowance {
+							allowance = tb
+						}
+					}
+				}
+			}
+			res, err := ipukernel.Run(ipu.New(ipu.Config{Model: platform.GC200}), b, cfg)
+			if err != nil {
+				t.Fatalf("tier %v: %v", tier, err)
+			}
+			if res.PeakTraceBytes == 0 {
+				t.Fatalf("tier %v: traceback run recorded no trace bytes", tier)
+			}
+			if res.PeakTraceBytes > allowance {
+				t.Fatalf("tier %v: peak trace %d B exceeds modeled arena allowance %d B",
+					tier, res.PeakTraceBytes, allowance)
+			}
+		}
 	}
 }

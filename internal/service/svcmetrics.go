@@ -70,6 +70,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		tot.CacheMisses += sn.CacheMisses
 		tot.CacheEvictions += sn.CacheEvictions
 		tot.CacheBytes += sn.CacheBytes
+		tot.NarrowExtensions += sn.NarrowExtensions
+		tot.WideExtensions += sn.WideExtensions
+		tot.PromotedExtensions += sn.PromotedExtensions
 		tot.Retries += sn.Retries
 		tot.Hedges += sn.Hedges
 		tot.Quarantined += sn.Quarantined
@@ -132,6 +135,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	evict := counter("xdropipu_engine_cache_evictions_total", "Result-cache evictions per shard.")
 	cbytes := gauge("xdropipu_engine_cache_bytes", "Approximate resident result-cache footprint per shard.")
 	hitRate := gauge("xdropipu_engine_cache_hit_rate", "Lifetime cache hit rate per shard.")
+	narrow := counter("xdropipu_engine_narrow_extensions_total", "Extensions completed on the int16 kernel tier per shard.")
+	wide := counter("xdropipu_engine_wide_extensions_total", "Extensions executed on the int32 kernel tier per shard.")
+	promoted := counter("xdropipu_engine_promoted_extensions_total", "Extensions that saturated int16 and re-ran int32 per shard.")
 	retries := counter("xdropipu_engine_retries_total", "Batch retries after transient faults per shard.")
 	hedges := counter("xdropipu_engine_hedges_total", "Hedged duplicate executions per shard.")
 	quarantined := counter("xdropipu_engine_quarantined_total", "Batches completed degraded per shard.")
@@ -152,6 +158,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		evict.Add(float64(sn.CacheEvictions), "shard", l)
 		cbytes.Add(float64(sn.CacheBytes), "shard", l)
 		hitRate.Add(sn.CacheHitRate, "shard", l)
+		narrow.Add(float64(sn.NarrowExtensions), "shard", l)
+		wide.Add(float64(sn.WideExtensions), "shard", l)
+		promoted.Add(float64(sn.PromotedExtensions), "shard", l)
 		retries.Add(float64(sn.Retries), "shard", l)
 		hedges.Add(float64(sn.Hedges), "shard", l)
 		quarantined.Add(float64(sn.Quarantined), "shard", l)
@@ -193,6 +202,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	metrics.WriteProm(w, []metrics.PromFamily{
 		jobsDone, batches, cells, live, inflight, depth, occ,
 		hits, misses, evict, cbytes, hitRate,
+		narrow, wide, promoted,
 		retries, hedges, quarantined, faults, deadlines,
 		submitted, completed, failed, cancelled, shed, limited, tliv,
 		trackedG,

@@ -370,6 +370,9 @@ type ReportSummary struct {
 	PeakTracebackBytes      int     `json:"peakTracebackBytes"`
 	TracebackBytes          int64   `json:"tracebackBytes"`
 	PartialFailures         int     `json:"partialFailures"`
+	NarrowExtensions        int     `json:"narrowExtensions"`
+	WideExtensions          int     `json:"wideExtensions"`
+	PromotedExtensions      int     `json:"promotedExtensions"`
 }
 
 // Summarize extracts a report's scalar fields.
@@ -392,6 +395,9 @@ func Summarize(rep *driver.Report) ReportSummary {
 		PeakTracebackBytes:      rep.PeakTracebackBytes,
 		TracebackBytes:          rep.TracebackBytes,
 		PartialFailures:         rep.PartialFailures,
+		NarrowExtensions:        rep.NarrowExtensions,
+		WideExtensions:          rep.WideExtensions,
+		PromotedExtensions:      rep.PromotedExtensions,
 	}
 }
 
@@ -416,6 +422,9 @@ func (s ReportSummary) Report(results []ipukernel.AlignOut) *driver.Report {
 		PeakTracebackBytes:      s.PeakTracebackBytes,
 		TracebackBytes:          s.TracebackBytes,
 		PartialFailures:         s.PartialFailures,
+		NarrowExtensions:        s.NarrowExtensions,
+		WideExtensions:          s.WideExtensions,
+		PromotedExtensions:      s.PromotedExtensions,
 	}
 }
 

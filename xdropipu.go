@@ -52,6 +52,9 @@ type (
 	Workspace = core.Workspace
 	// Algo selects an X-Drop variant.
 	Algo = core.Algo
+	// KernelTier selects the DP arithmetic width (wide int32, narrow
+	// int16 with saturation-checked promotion, or automatic).
+	KernelTier = core.Tier
 )
 
 // X-Drop variants.
@@ -64,6 +67,21 @@ const (
 	AlgoReference = core.AlgoReference
 	// AlgoAffine is the affine-gap (ksw2-style) variant.
 	AlgoAffine = core.AlgoAffine
+)
+
+// Kernel tiers. Every tier returns bit-identical Results; they differ
+// only in DP working-set footprint and throughput.
+const (
+	// TierWide runs every extension on int32 lanes (the default).
+	TierWide = core.TierWide
+	// TierNarrow attempts int16 lanes first and transparently re-runs
+	// an extension on int32 when its score headroom saturates.
+	TierNarrow = core.TierNarrow
+	// TierAuto proves per extension that int16 cannot saturate and
+	// picks the narrow kernel only then — it never promotes, so the
+	// SRAM planner can budget narrow-only working sets and admit
+	// larger sequences per tile.
+	TierAuto = core.TierAuto
 )
 
 // Align runs one semi-global X-Drop extension of h against v.
@@ -311,6 +329,13 @@ var (
 	// WithTraceback enables CIGAR emission for every job: results carry
 	// their edit scripts and reports expose peak traceback memory.
 	WithTraceback = engine.WithTraceback
+	// WithKernelTier selects the DP arithmetic width (TierWide,
+	// TierNarrow, TierAuto). Results are bit-identical across tiers;
+	// TierAuto halves the per-thread DP working set whenever the
+	// scoring regime provably cannot saturate int16, letting the
+	// partitioner admit larger sequences per tile. Tier counters
+	// surface in EngineStats.
+	WithKernelTier = engine.WithKernelTier
 	// WithRetry re-issues batches whose execution failed transiently,
 	// with capped exponential backoff: max retries per batch, budget
 	// retries per job (0 = uncapped).
