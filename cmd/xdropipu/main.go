@@ -14,7 +14,7 @@
 //
 // Usage:
 //
-//	xdropipu -in reads.fasta [-x 15] [-deltab 256] [-ipus 1] [-allpairs] [-protein]
+//	xdropipu -in reads.fasta [-x 15] [-deltab 256] [-ipus 1] [-allpairs] [-protein] [-maxslab bytes] [-spill dir]
 //	xdropipu serve [-addr :8080] [-shards 1] [-ipus 1] [-cache 65536] [...]
 package main
 
@@ -67,6 +67,8 @@ func runAlign(args []string) {
 	k := fs.Int("k", 17, "seed k-mer length")
 	allPairs := fs.Bool("allpairs", false, "derive comparisons from shared k-mers instead of pairing file order")
 	protein := fs.Bool("protein", false, "treat input as protein (BLOSUM62, gap -2)")
+	maxSlab := fs.Int("maxslab", 0, "arena slab cap in bytes (0 = 2 GiB default); pools roll across slabs")
+	spillDir := fs.String("spill", "", "directory for slab spill files; sealed slabs page to disk between batches")
 	fs.Parse(args)
 	if *in == "" {
 		fs.Usage()
@@ -77,14 +79,21 @@ func runAlign(args []string) {
 	if *protein {
 		alpha = seqio.ProteinAlphabet
 	}
-	// Stream the FASTA records straight into an arena: one slab holds Ω,
-	// duplicate records share storage, and the whole execution stack
-	// references that single copy.
+	// Stream the FASTA records straight into an arena: the slab spine
+	// holds Ω once, duplicate records share storage, and the whole
+	// execution stack references that single copy. Pools larger than the
+	// slab cap roll across slabs as they stream in.
 	f, err := os.Open(*in)
 	if err != nil {
 		fail(err)
 	}
 	arena := workload.NewArena(0, 0)
+	if *maxSlab > 0 {
+		arena.SetMaxSlabBytes(*maxSlab)
+	}
+	if *spillDir != "" {
+		arena.EnableSpill(*spillDir)
+	}
 	ids, err := arena.AppendFasta(f, alpha)
 	f.Close()
 	if err != nil {
@@ -118,7 +127,19 @@ func runAlign(args []string) {
 	if len(cmps) == 0 {
 		fail(fmt.Errorf("no comparisons to run"))
 	}
-	d := arena.NewDataset(*in, workload.PlanOf(cmps), *protein)
+	var d *workload.Dataset
+	if *spillDir != "" {
+		// Spine-only dataset: no materialised sequence views, so sealed
+		// slabs page out to -spill and batches fault their sets back in.
+		d = arena.NewStreamingDataset(*in, workload.PlanOf(cmps), *protein)
+		arena.Seal()
+		if _, err := arena.Spill(); err != nil {
+			fail(err)
+		}
+		defer arena.Close()
+	} else {
+		d = arena.NewDataset(*in, workload.PlanOf(cmps), *protein)
+	}
 
 	// Submit through the persistent engine: results stream back batch by
 	// batch, and Ctrl-C cancels the job (planning included) while keeping
@@ -185,6 +206,11 @@ func runAlign(args []string) {
 		"%d alignments on %d simulated IPU(s): device %.3gms, end-to-end %.3gms, %.0f GCUPS, %d batches, reuse %.2f×\n",
 		len(rep.Results), *ipus, rep.DeviceComputeSeconds*1e3, rep.WallSeconds*1e3,
 		rep.GCUPS(rep.DeviceComputeSeconds), rep.Batches, rep.ReuseFactor)
+	if *spillDir != "" {
+		st := arena.Residency()
+		fmt.Fprintf(os.Stderr, "arena spine: %d slabs, %d spills, %d faults\n",
+			st.Slabs, st.Spills, st.Faults)
+	}
 }
 
 func runServe(args []string) {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 
@@ -23,8 +24,10 @@ import (
 // and peak traceback bytes); v4 added the faults section (throughput
 // under injected transient fault rates with retries on); v5 added the
 // kernel_tiers section (int16 vs int32 throughput per variant on a
-// short-band and a wide-band regime, with tier counters).
-const EngineBenchSchema = "xdropipu-bench-engine/v5"
+// short-band and a wide-band regime, with tier counters); v6 added the
+// arena_spine section (throughput and link bytes across slab layouts,
+// resident vs spill-before-every-job, bit-identity verified in-bench).
+const EngineBenchSchema = "xdropipu-bench-engine/v6"
 
 // VariantThroughput is one kernel variant's host-measured throughput.
 type VariantThroughput struct {
@@ -126,6 +129,38 @@ type KernelTiersThroughput struct {
 	Regimes []TierRegimeThroughput `json:"regimes"`
 }
 
+// SpineLayoutThroughput is one slab layout's measurement: the same
+// workload packed into Slabs slabs, run resident or with the whole spine
+// spilled to disk before every job.
+type SpineLayoutThroughput struct {
+	// Slabs is the spine's actual slab count for this layout.
+	Slabs int `json:"slabs"`
+	// Spill is true when every slab was spilled before each job, so each
+	// job pays the fault-in path for the slab sets its batches pin.
+	Spill bool `json:"spill"`
+	// JobsPerSec is completed driver runs over host wall time.
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// McellsPerSec is computed DP cells over host wall time.
+	McellsPerSec float64 `json:"mcells_per_sec"`
+	// HostBytesIn is the modeled link traffic of one job — slab-layout
+	// independent by construction, so every layout row must agree.
+	HostBytesIn int64 `json:"host_bytes_in"`
+	// Faults is the arena's lifetime fault-in count after the runs
+	// (0 for resident layouts).
+	Faults int64 `json:"faults"`
+}
+
+// ArenaSpineThroughput measures the multi-slab arena spine: identical
+// content across slab layouts and residency modes, every run verified
+// bit-identical to the single-slab resident baseline before any number
+// is reported.
+type ArenaSpineThroughput struct {
+	// Jobs is the driver runs per layout.
+	Jobs int `json:"jobs"`
+	// Layouts holds one row per (slab count, spill) combination.
+	Layouts []SpineLayoutThroughput `json:"layouts"`
+}
+
 // FaultRateThroughput is the engine's throughput under one injected
 // transient-fault rate with retries enabled.
 type FaultRateThroughput struct {
@@ -167,6 +202,8 @@ type EngineBenchResult struct {
 	Faults     *FaultsThroughput    `json:"faults"`
 	// KernelTiers compares the int16 tier to the int32 baseline.
 	KernelTiers *KernelTiersThroughput `json:"kernel_tiers"`
+	// ArenaSpine measures slab-layout and spill costs on the arena spine.
+	ArenaSpine *ArenaSpineThroughput `json:"arena_spine"`
 }
 
 // engineBenchDataset is the common workload: dense enough to produce
@@ -299,7 +336,111 @@ func EngineBench(opt Options) (*EngineBenchResult, error) {
 		return nil, err
 	}
 	res.KernelTiers = kt
+
+	sp, err := arenaSpineBench(opt)
+	if err != nil {
+		return nil, err
+	}
+	res.ArenaSpine = sp
 	return res, nil
+}
+
+// arenaSpineBench measures the multi-slab spine: the same workload packed
+// into ~1, ~4 and ~16 slabs, run resident and with every slab spilled to
+// disk before each job. Slab layout must cost nothing on the link
+// (HostBytesIn identical across layouts) and nothing in results (every
+// run verified bit-identical to the single-slab resident baseline); the
+// spill rows price the fault-in path of batch-level slab pinning.
+func arenaSpineBench(opt Options) (*ArenaSpineThroughput, error) {
+	jobs := opt.n(4)
+	if jobs > 4 {
+		jobs = 4
+	}
+	if jobs < 2 {
+		jobs = 2
+	}
+	base := opt.engineBenchDataset(11)
+	cfg := opt.driverConfig(15, 256, 1)
+	cfg.MaxBatchJobs = 64
+	golden, err := driver.Run(base, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("spine bench (golden): %w", err)
+	}
+	longest, total := 0, 0
+	for _, s := range base.Sequences {
+		longest = max(longest, len(s))
+		total += len(s)
+	}
+
+	out := &ArenaSpineThroughput{Jobs: jobs}
+	for _, slabs := range []int{1, 4, 16} {
+		slabCap := max(longest, total/slabs+1)
+		for _, spill := range []bool{false, true} {
+			a := workload.NewArena(0, len(base.Sequences))
+			a.SetMaxSlabBytes(slabCap)
+			for _, s := range base.Sequences {
+				a.Append(s)
+			}
+			d := a.NewStreamingDataset(base.Name, workload.PlanOf(base.Comparisons), base.Protein)
+			var dir string
+			if spill {
+				if dir, err = os.MkdirTemp("", "xdropipu-spine-"); err != nil {
+					return nil, fmt.Errorf("spine bench: %w", err)
+				}
+				a.EnableSpill(dir)
+				a.Seal()
+			}
+			run := func() (int64, int64, error) {
+				var cells, bytesIn int64
+				for i := 0; i < jobs; i++ {
+					if spill {
+						if _, err := a.Spill(); err != nil {
+							return 0, 0, fmt.Errorf("spine bench (%d slabs): %w", a.NumSlabs(), err)
+						}
+					}
+					rep, err := driver.Run(d, cfg)
+					if err != nil {
+						return 0, 0, fmt.Errorf("spine bench (%d slabs, spill %v): %w", a.NumSlabs(), spill, err)
+					}
+					for k := range rep.Results {
+						if rep.Results[k] != golden.Results[k] {
+							return 0, 0, fmt.Errorf("spine bench (%d slabs, spill %v): result %d diverged from the single-slab baseline",
+								a.NumSlabs(), spill, k)
+						}
+					}
+					if rep.HostBytesIn != golden.HostBytesIn {
+						return 0, 0, fmt.Errorf("spine bench (%d slabs, spill %v): HostBytesIn %d, baseline %d — slab layout leaked into link traffic",
+							a.NumSlabs(), spill, rep.HostBytesIn, golden.HostBytesIn)
+					}
+					cells += rep.Cells
+					bytesIn = rep.HostBytesIn
+				}
+				return cells, bytesIn, nil
+			}
+			start := time.Now()
+			cells, bytesIn, err := run()
+			el := time.Since(start).Seconds()
+			st := a.Residency()
+			if spill {
+				if cerr := a.Close(); err == nil && cerr != nil {
+					err = fmt.Errorf("spine bench: %w", cerr)
+				}
+				os.RemoveAll(dir)
+			}
+			if err != nil {
+				return nil, err
+			}
+			out.Layouts = append(out.Layouts, SpineLayoutThroughput{
+				Slabs:        a.NumSlabs(),
+				Spill:        spill,
+				JobsPerSec:   float64(jobs) / el,
+				McellsPerSec: float64(cells) / 1e6 / el,
+				HostBytesIn:  bytesIn,
+				Faults:       st.Faults,
+			})
+		}
+	}
+	return out, nil
 }
 
 // kernelTiersBench times every kernel variant on the int32 and int16
@@ -584,8 +725,9 @@ func VerifyEngineJSON(data []byte) error {
 		return fmt.Errorf("bench: engine JSON schema %q, want %q (regenerate with benchtables -json)", res.Schema, EngineBenchSchema)
 	}
 	if len(res.Variants) == 0 || len(res.Engine) == 0 || res.Dedup == nil ||
-		res.Traceback == nil || res.Faults == nil || res.KernelTiers == nil {
-		return fmt.Errorf("bench: engine JSON is missing sections (variants/engine/dedup/traceback/faults/kernel_tiers)")
+		res.Traceback == nil || res.Faults == nil || res.KernelTiers == nil ||
+		res.ArenaSpine == nil {
+		return fmt.Errorf("bench: engine JSON is missing sections (variants/engine/dedup/traceback/faults/kernel_tiers/arena_spine)")
 	}
 	return nil
 }
@@ -660,6 +802,15 @@ func EngineExp(opt Options) error {
 		}
 		tt.AddNote("results verified bit-identical across tiers; the narrow win is the halved DP working set, not scalar throughput")
 		tt.Render(opt.W)
+	}
+	if sp := res.ArenaSpine; sp != nil {
+		st := metrics.NewTable("Engine — arena spine across slab layouts (host-measured)",
+			"slabs", "spill", "jobs", "jobs/s", "Mcells/s", "link B in", "faults")
+		for _, l := range sp.Layouts {
+			st.AddRow(l.Slabs, l.Spill, sp.Jobs, l.JobsPerSec, l.McellsPerSec, l.HostBytesIn, l.Faults)
+		}
+		st.AddNote("identical content repacked per layout; results and link bytes verified identical to the single-slab resident baseline")
+		st.Render(opt.W)
 	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -364,6 +365,15 @@ type BatchPlan struct {
 	comparisons int
 	reuseFactor float64
 
+	// arena is the spine the batches' spans address; batchSlabs[i] is the
+	// sorted set of slab indices batch i references. Execution pins
+	// exactly that set around each attempt (ExecBatchAttempt binds the
+	// pinned views into a per-attempt batch copy), so slabs outside the
+	// working set can stay spilled and hedged attempts never share
+	// mutable tile state.
+	arena      *workload.Arena
+	batchSlabs [][]int32
+
 	// Dedup state (nil dedup = off, every comparison executed as itself).
 	dedup *workload.DedupMap
 	// execUID maps a kernel GlobalID (row in the executed sub-plan) to
@@ -592,7 +602,47 @@ func BuildBatches(ctx context.Context, d *workload.Dataset, cfg Config) (*BatchP
 	bp.tiles = tiles
 	bp.batches = batches
 	bp.reuseFactor = partition.ReuseFactor(execD, items)
+	bp.arena, _ = execD.Spine()
+	bp.batchSlabs = batchSlabSets(batches)
 	return bp, nil
+}
+
+// batchSlabSets computes, per batch, the sorted set of spine slabs its
+// tiles' spans reference — the exact residency the batch needs pinned
+// while it executes.
+func batchSlabSets(batches []*ipukernel.Batch) [][]int32 {
+	sets := make([][]int32, len(batches))
+	for bi, b := range batches {
+		seen := make(map[int32]struct{})
+		for ti := range b.Tiles {
+			for _, r := range b.Tiles[ti].Seqs {
+				seen[r.Slab] = struct{}{}
+			}
+		}
+		set := make([]int32, 0, len(seen))
+		for si := range seen {
+			set = append(set, si)
+		}
+		slices.Sort(set)
+		sets[bi] = set
+	}
+	return sets
+}
+
+// boundBatch pins batch i's slab set in the arena and returns the batch
+// bound to the pinned views, plus the release hook. Pinning an already
+// resident slab is a counter bump, so the plain in-memory path pays one
+// mutex round-trip per batch execution.
+func (bp *BatchPlan) boundBatch(i int) (*ipukernel.Batch, func(), error) {
+	b := bp.batches[i]
+	if bp.arena == nil {
+		return b, func() {}, nil
+	}
+	pin, err := bp.arena.Pin(bp.batchSlabs[i])
+	if err != nil {
+		return nil, nil, fmt.Errorf("driver: batch %d slab pin: %w", i, err)
+	}
+	return b.Bound(pin.Slabs()), pin.Release, nil
 }
 
 // Batches returns the number of supersteps in the build.
@@ -643,7 +693,12 @@ func (bp *BatchPlan) ExecBatchAttempt(dev *ipu.Device, i, attempt int, kcfg ipuk
 			return nil, err
 		}
 	}
-	return ipukernel.Run(dev, bp.batches[i], kcfg)
+	b, release, err := bp.boundBatch(i)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return ipukernel.Run(dev, b, kcfg)
 }
 
 // ExecBatchHost runs batch i through the reference host path: the same
@@ -656,7 +711,12 @@ func (bp *BatchPlan) ExecBatchAttempt(dev *ipu.Device, i, attempt int, kcfg ipuk
 // report assembled from any mix of fleet and host executions is
 // bit-identical to the fault-free run.
 func (bp *BatchPlan) ExecBatchHost(i int, kcfg ipukernel.Config) (*ipukernel.BatchResult, error) {
-	return ipukernel.Run(bp.NewDevice(), bp.batches[i], kcfg)
+	b, release, err := bp.boundBatch(i)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return ipukernel.Run(bp.NewDevice(), b, kcfg)
 }
 
 // FailedBatchResult synthesizes batch i's degraded outcome: one Failed

@@ -44,35 +44,47 @@ type SeedJob struct {
 }
 
 // TileWork is the per-tile input of Fig. 4: the sequence set ω_i plus the
-// seed-extension list. The set is held as spans into a shared arena slab —
-// the dataset's packed Ω — so batches from any number of concurrent jobs
-// reference one copy of the pool, and transfer sizes fall out of the spans
-// instead of summed slice headers.
+// seed-extension list. The set is held as spans into the shared arena
+// spine — the dataset's packed Ω — so batches from any number of
+// concurrent jobs reference one copy of the pool, and transfer sizes fall
+// out of the spans instead of summed slice headers.
 type TileWork struct {
-	// Slab is the arena slab the tile's spans address (shared, immutable).
-	Slab []byte
-	// Seqs is the detached sequence set ω_i as spans into Slab.
+	// Slabs is the spine slab table the tile's spans address, indexed by
+	// SeqRef.Slab (shared, immutable). The partitioner leaves it nil and
+	// the driver binds it per execution attempt (Batch.Bound) from the
+	// arena's pinned slab set, so slabs a batch does not touch can stay
+	// spilled; standalone tiles built with AddSeq carry their private
+	// slab here directly.
+	Slabs [][]byte
+	// Seqs is the detached sequence set ω_i as spans into Slabs.
 	Seqs []workload.SeqRef
 	// Jobs is the seed-extension list over Seqs.
 	Jobs []SeedJob
 }
 
-// Seq returns local sequence i as a zero-copy view into the slab.
+// Seq returns local sequence i as a zero-copy view into its slab.
 func (t *TileWork) Seq(i int) []byte {
 	r := t.Seqs[i]
-	return t.Slab[r.Off:r.End():r.End()]
+	s := t.Slabs[r.Slab]
+	return s[r.Off:r.End():r.End()]
 }
 
-// AddSeq appends s to the tile's private slab and returns its local index.
-// It is the standalone construction path (tests, single-tile tools); the
-// partitioner instead points tiles at the dataset's shared arena. Like
-// Arena.Append, it panics if the slab would outgrow 32-bit offsets.
+// AddSeq appends s to the tile's private slab (the last entry of Slabs)
+// and returns its local index. It is the standalone construction path
+// (tests, single-tile tools); the partitioner instead points tiles at the
+// dataset's shared arena spine. Like Arena.Append, it panics if the slab
+// would outgrow 32-bit offsets.
 func (t *TileWork) AddSeq(s []byte) int {
-	if len(t.Slab)+len(s) > workload.MaxSlabBytes {
+	if len(t.Slabs) == 0 {
+		t.Slabs = append(t.Slabs, nil)
+	}
+	si := len(t.Slabs) - 1
+	slab := t.Slabs[si]
+	if len(slab)+len(s) > workload.MaxSlabBytes {
 		panic(fmt.Sprintf("ipukernel: tile slab would exceed %d bytes", workload.MaxSlabBytes))
 	}
-	t.Seqs = append(t.Seqs, workload.SeqRef{Off: int32(len(t.Slab)), Len: int32(len(s))})
-	t.Slab = append(t.Slab, s...)
+	t.Seqs = append(t.Seqs, workload.SeqRef{Slab: int32(si), Off: int32(len(slab)), Len: int32(len(s))})
+	t.Slabs[si] = append(slab, s...)
 	return len(t.Seqs) - 1
 }
 
@@ -98,16 +110,25 @@ func (t *TileWork) UniqueSeqBytes() int {
 
 // uniqueSeqBytes is UniqueSeqBytes with a reusable sort scratch, so the
 // per-batch accounting loop in Run stays allocation-free once warm.
+// Spans merge only within their own slab — offsets in different slabs
+// are unrelated addresses — so the sort is (slab, offset)-ordered and a
+// slab change closes the current merge run. The total is therefore
+// identical however the same logical pool is cut into slabs.
 func (t *TileWork) uniqueSeqBytes(scratch []workload.SeqRef) (int, []workload.SeqRef) {
 	if len(t.Seqs) == 0 {
 		return 0, scratch
 	}
 	scratch = append(scratch[:0], t.Seqs...)
-	slices.SortFunc(scratch, func(a, b workload.SeqRef) int { return int(a.Off) - int(b.Off) })
+	slices.SortFunc(scratch, func(a, b workload.SeqRef) int {
+		if a.Slab != b.Slab {
+			return int(a.Slab) - int(b.Slab)
+		}
+		return int(a.Off) - int(b.Off)
+	})
 	n := 0
 	cur := scratch[0]
 	for _, s := range scratch[1:] {
-		if s.Off <= cur.End() {
+		if s.Slab == cur.Slab && s.Off <= cur.End() {
 			if s.End() > cur.End() {
 				cur.Len = s.End() - cur.Off
 			}
@@ -132,6 +153,21 @@ func (b *Batch) Jobs() int {
 		n += len(b.Tiles[i].Jobs)
 	}
 	return n
+}
+
+// Bound returns a shallow copy of the batch with every tile's slab table
+// set to slabs (tiles share Seqs and Jobs with the original). This is
+// the driver's per-attempt binding step: the partitioner emits tiles
+// with nil Slabs, the driver pins the batch's slab set in the arena and
+// binds here, so hedged attempts racing on the same BatchPlan each get a
+// private tile header array and never mutate shared state.
+func (b *Batch) Bound(slabs [][]byte) *Batch {
+	nb := &Batch{Tiles: make([]TileWork, len(b.Tiles))}
+	for i, t := range b.Tiles {
+		t.Slabs = slabs
+		nb.Tiles[i] = t
+	}
+	return nb
 }
 
 // Wire-format sizes for SRAM and transfer accounting: a job tuple is two
@@ -453,6 +489,17 @@ func Run(dev *ipu.Device, b *Batch, cfg Config) (*BatchResult, error) {
 	}
 	if len(b.Tiles) > dev.Tiles() {
 		return nil, fmt.Errorf("ipukernel: batch has %d tiles, device has %d", len(b.Tiles), dev.Tiles())
+	}
+	for ti := range b.Tiles {
+		t := &b.Tiles[ti]
+		for _, r := range t.Seqs {
+			if r.Len == 0 {
+				continue
+			}
+			if r.Slab < 0 || int(r.Slab) >= len(t.Slabs) || t.Slabs[r.Slab] == nil {
+				return nil, fmt.Errorf("ipukernel: tile %d references slab %d but the tile's slab table is unbound (partitioned batches must be Bound to a pinned slab set before Run)", ti, r.Slab)
+			}
+		}
 	}
 
 	res := &BatchResult{

@@ -31,9 +31,9 @@ func buildBatch(t *testing.T, count, length int, errRate float64, seed int64) (*
 	for i := 0; i < plan.Len(); i++ {
 		c := plan.At(i)
 		b.Tiles = append(b.Tiles, TileWork{
-			Slab: arena.Slab(),
-			Seqs: []workload.SeqRef{arena.Ref(c.H), arena.Ref(c.V)},
-			Jobs: []SeedJob{{HLocal: 0, VLocal: 1, SeedH: c.SeedH, SeedV: c.SeedV, SeedLen: c.SeedLen, GlobalID: i}},
+			Slabs: arena.SlabViews(),
+			Seqs:  []workload.SeqRef{arena.Ref(c.H), arena.Ref(c.V)},
+			Jobs:  []SeedJob{{HLocal: 0, VLocal: 1, SeedH: c.SeedH, SeedV: c.SeedV, SeedLen: c.SeedLen, GlobalID: i}},
 		})
 	}
 	return b, d
@@ -167,7 +167,7 @@ func TestUniqueSeqBytes(t *testing.T) {
 		t.Errorf("empty tile UniqueSeqBytes = %d", got)
 	}
 	tile := TileWork{
-		Slab: make([]byte, 100),
+		Slabs: [][]byte{make([]byte, 100)},
 		Seqs: []workload.SeqRef{
 			{Off: 40, Len: 5},  // disjoint, out of order
 			{Off: 10, Len: 10}, // base span
@@ -197,8 +197,8 @@ func TestUniqueSeqBytesInRun(t *testing.T) {
 	arena, _ := d.Spine()
 	c := d.Comparisons[0]
 	tile := TileWork{
-		Slab: arena.Slab(),
-		Seqs: []workload.SeqRef{arena.Ref(c.H), arena.Ref(c.V), arena.Ref(c.H)},
+		Slabs: arena.SlabViews(),
+		Seqs:  []workload.SeqRef{arena.Ref(c.H), arena.Ref(c.V), arena.Ref(c.H)},
 		Jobs: []SeedJob{
 			{HLocal: 0, VLocal: 1, SeedH: c.SeedH, SeedV: c.SeedV, SeedLen: c.SeedLen, GlobalID: 0},
 			{HLocal: 2, VLocal: 1, SeedH: c.SeedH, SeedV: c.SeedV, SeedLen: c.SeedLen, GlobalID: 1},
@@ -293,7 +293,7 @@ func TestThreadScalingSpeedsUp(t *testing.T) {
 		// One tile, 12 equal jobs.
 		d := synth.UniformPairs(synth.UniformPairsSpec{Count: 12, Length: 400, ErrorRate: 0.15, SeedLen: 17, Seed: 4})
 		arena, _ := d.Spine()
-		tile := TileWork{Slab: arena.Slab()}
+		tile := TileWork{Slabs: arena.SlabViews()}
 		for i, c := range d.Comparisons {
 			tile.Seqs = append(tile.Seqs, arena.Ref(c.H), arena.Ref(c.V))
 			tile.Jobs = append(tile.Jobs, SeedJob{
@@ -384,7 +384,7 @@ func TestEventualWorkStealingReducesRaces(t *testing.T) {
 	// Uniform jobs → identical costs → maximal tie pressure.
 	b, _ := buildBatch(t, 1, 300, 0.15, 7)
 	// Pack 24 identical jobs on one tile.
-	tile := TileWork{Slab: b.Tiles[0].Slab, Seqs: b.Tiles[0].Seqs}
+	tile := TileWork{Slabs: b.Tiles[0].Slabs, Seqs: b.Tiles[0].Seqs}
 	for k := 0; k < 24; k++ {
 		j := b.Tiles[0].Jobs[0]
 		j.GlobalID = k

@@ -305,7 +305,10 @@ func DeriveSeqBudget(d *workload.Dataset, cfg ipukernel.Config, model platform.I
 
 // tileBuilder incrementally assembles one tile's work while tracking the
 // SRAM formula of the kernel configuration. Tiles reference the dataset's
-// shared arena: adding a sequence appends its span, never its bytes.
+// shared arena spine: adding a sequence appends its span, never its
+// bytes. The tile's slab table stays nil — the driver binds it per
+// execution attempt from the arena's pinned slab set (Batch.Bound), so
+// building batches never forces spilled slabs resident.
 type tileBuilder struct {
 	work     ipukernel.TileWork
 	localIdx map[int]int
@@ -315,11 +318,8 @@ type tileBuilder struct {
 	maxTrace int
 }
 
-func newTileBuilder(slab []byte) *tileBuilder {
-	return &tileBuilder{
-		work:     ipukernel.TileWork{Slab: slab},
-		localIdx: make(map[int]int),
-	}
+func newTileBuilder() *tileBuilder {
+	return &tileBuilder{localIdx: make(map[int]int)}
 }
 
 func (tb *tileBuilder) memoryWith(refs []workload.SeqRef, plan *workload.Plan, it *Item, cfg ipukernel.Config, threads int) int {
@@ -433,7 +433,6 @@ func MakeBatchesFanout(d *workload.Dataset, items []Item, tiles int, cfg ipukern
 	budget := model.DataSRAM()
 	arena, plan := d.Spine()
 	refs := arena.Refs()
-	slab := arena.Slab()
 
 	order := make([]int, len(items))
 	for i := range order {
@@ -472,7 +471,7 @@ func MakeBatchesFanout(d *workload.Dataset, items []Item, tiles int, cfg ipukern
 			if builders == nil {
 				builders = make([]*tileBuilder, tiles)
 				for i := range builders {
-					builders[i] = newTileBuilder(slab)
+					builders[i] = newTileBuilder()
 				}
 			}
 			// Least-loaded tile that still fits the item.

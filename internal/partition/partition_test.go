@@ -418,7 +418,8 @@ func TestTracebackBudgetAdmitsWithinSRAM(t *testing.T) {
 					}
 				}
 			}
-			res, err := ipukernel.Run(ipu.New(ipu.Config{Model: platform.GC200}), b, cfg)
+			arena, _ := d.Spine()
+			res, err := ipukernel.Run(ipu.New(ipu.Config{Model: platform.GC200}), b.Bound(arena.SlabViews()), cfg)
 			if err != nil {
 				t.Fatalf("tier %v: %v", tier, err)
 			}

@@ -34,7 +34,7 @@ const (
 	ContentTypeNDJSON = "application/x-ndjson"
 )
 
-// Binary layout (little-endian):
+// Binary layout (little-endian). Version 1 frames a single-slab spine:
 //
 //	magic   "XDW1"
 //	flags   u8      bit0 = protein
@@ -42,36 +42,76 @@ const (
 //	slab    uvarint length + bytes
 //	refs    uvarint count  + count × (off u32, len u32)
 //	plan    uvarint rows   + 5 columns × rows × i32  (H V SeedH SeedV SeedLen)
-var magic = [4]byte{'X', 'D', 'W', '1'}
+//
+// Version 2 frames a multi-slab spine; spans carry their slab index:
+//
+//	magic   "XDW2"
+//	flags   u8      bit0 = protein
+//	name    uvarint length + bytes
+//	slabs   uvarint count  + count × (uvarint length + bytes)
+//	refs    uvarint count  + count × (slab u32, off u32, len u32)
+//	plan    uvarint rows   + 5 columns × rows × i32  (H V SeedH SeedV SeedLen)
+//
+// The encoder emits XDW1 whenever the spine fits one slab — so every
+// pre-spine payload stays byte-identical — and XDW2 only for genuinely
+// multi-slab pools. The decoder accepts both.
+var (
+	magic  = [4]byte{'X', 'D', 'W', '1'}
+	magic2 = [4]byte{'X', 'D', 'W', '2'}
+)
 
 const flagProtein = 1
 
 // EncodeDataset serializes a dataset's arena spine. The encoding is
-// canonical for a given spine: same slab, spans and plan produce the
-// same bytes.
+// canonical for a given spine: same slabs, spans and plan produce the
+// same bytes, and a single-slab spine encodes byte-identically to the
+// pre-spine XDW1 format.
 func EncodeDataset(d *workload.Dataset) ([]byte, error) {
 	arena, plan := d.Spine()
-	slab := arena.Slab()
 	refs := arena.Refs()
 	var buf bytes.Buffer
-	buf.Grow(len(slab) + len(refs)*8 + plan.Len()*20 + len(d.Name) + 64)
-	buf.Write(magic[:])
 	var flags byte
 	if d.Protein {
 		flags |= flagProtein
 	}
-	buf.WriteByte(flags)
-	writeUvarint(&buf, uint64(len(d.Name)))
-	buf.WriteString(d.Name)
-	writeUvarint(&buf, uint64(len(slab)))
-	buf.Write(slab)
-	writeUvarint(&buf, uint64(len(refs)))
 	var u32 [4]byte
-	for _, r := range refs {
-		binary.LittleEndian.PutUint32(u32[:], uint32(r.Off))
-		buf.Write(u32[:])
-		binary.LittleEndian.PutUint32(u32[:], uint32(r.Len))
-		buf.Write(u32[:])
+	if arena.NumSlabs() <= 1 {
+		slab := arena.Slab()
+		buf.Grow(len(slab) + len(refs)*8 + plan.Len()*20 + len(d.Name) + 64)
+		buf.Write(magic[:])
+		buf.WriteByte(flags)
+		writeUvarint(&buf, uint64(len(d.Name)))
+		buf.WriteString(d.Name)
+		writeUvarint(&buf, uint64(len(slab)))
+		buf.Write(slab)
+		writeUvarint(&buf, uint64(len(refs)))
+		for _, r := range refs {
+			binary.LittleEndian.PutUint32(u32[:], uint32(r.Off))
+			buf.Write(u32[:])
+			binary.LittleEndian.PutUint32(u32[:], uint32(r.Len))
+			buf.Write(u32[:])
+		}
+	} else {
+		buf.Grow(arena.SlabBytes() + len(refs)*12 + plan.Len()*20 + len(d.Name) + 64)
+		buf.Write(magic2[:])
+		buf.WriteByte(flags)
+		writeUvarint(&buf, uint64(len(d.Name)))
+		buf.WriteString(d.Name)
+		writeUvarint(&buf, uint64(arena.NumSlabs()))
+		for si := 0; si < arena.NumSlabs(); si++ {
+			slab := arena.SlabView(si)
+			writeUvarint(&buf, uint64(len(slab)))
+			buf.Write(slab)
+		}
+		writeUvarint(&buf, uint64(len(refs)))
+		for _, r := range refs {
+			binary.LittleEndian.PutUint32(u32[:], uint32(r.Slab))
+			buf.Write(u32[:])
+			binary.LittleEndian.PutUint32(u32[:], uint32(r.Off))
+			buf.Write(u32[:])
+			binary.LittleEndian.PutUint32(u32[:], uint32(r.Len))
+			buf.Write(u32[:])
+		}
 	}
 	writeUvarint(&buf, uint64(plan.Len()))
 	for _, col := range [][]int32{plan.H, plan.V, plan.SeedH, plan.SeedV, plan.SeedLen} {
@@ -88,25 +128,45 @@ func writeUvarint(buf *bytes.Buffer, v uint64) {
 	buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
 }
 
-// DecodeDataset reverses EncodeDataset: the restored dataset shares one
-// adopted slab (no per-sequence copies) and validates like any other
-// submission. Lengths are checked against the remaining input before any
-// allocation, so truncated or hostile payloads fail cleanly instead of
-// over-allocating.
+// DecodeDataset reverses EncodeDataset: the restored dataset shares the
+// adopted slabs (no per-sequence copies) and validates like any other
+// submission. Both wire versions decode — "XDW1" single-slab payloads
+// from pre-spine senders and "XDW2" multi-slab spines. Lengths and
+// counts are checked against the remaining input before any allocation,
+// so truncated or hostile payloads (including absurd slab counts) fail
+// cleanly instead of over-allocating.
 func DecodeDataset(p []byte) (*workload.Dataset, error) {
 	r := &reader{p: p}
 	var m [4]byte
 	r.bytes(m[:])
-	if r.err == nil && m != magic {
+	multi := m == magic2
+	if r.err == nil && m != magic && !multi {
 		return nil, fmt.Errorf("wire: bad magic %q", m[:])
 	}
 	flags := r.u8()
 	name := string(r.lenBytes("name"))
-	slab := append([]byte(nil), r.lenBytes("slab")...)
-	nrefs := r.count("refs", 8)
+	var slabs [][]byte
+	if multi {
+		nslabs := r.count("slabs", 1)
+		slabs = make([][]byte, 0, nslabs)
+		for i := 0; i < nslabs && r.err == nil; i++ {
+			slabs = append(slabs, append([]byte(nil), r.lenBytes("slab")...))
+		}
+	} else {
+		slabs = [][]byte{append([]byte(nil), r.lenBytes("slab")...)}
+	}
+	refBytes := 8
+	if multi {
+		refBytes = 12
+	}
+	nrefs := r.count("refs", refBytes)
 	refs := make([]workload.SeqRef, nrefs)
 	for i := range refs {
-		refs[i] = workload.SeqRef{Off: int32(r.u32()), Len: int32(r.u32())}
+		if multi {
+			refs[i].Slab = int32(r.u32())
+		}
+		refs[i].Off = int32(r.u32())
+		refs[i].Len = int32(r.u32())
 	}
 	nrows := r.count("plan", 20)
 	plan := workload.NewPlan(nrows)
@@ -130,7 +190,7 @@ func DecodeDataset(p []byte) (*workload.Dataset, error) {
 			SeedH: int(cols[2][i]), SeedV: int(cols[3][i]), SeedLen: int(cols[4][i]),
 		})
 	}
-	arena, err := workload.RestoreArena(slab, refs)
+	arena, err := workload.RestoreArenaSlabs(slabs, refs)
 	if err != nil {
 		return nil, fmt.Errorf("wire: %w", err)
 	}

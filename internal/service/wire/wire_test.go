@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"github.com/sram-align/xdropipu/internal/synth"
+	"github.com/sram-align/xdropipu/internal/workload"
 )
 
 func encodedPayload(t *testing.T) []byte {
@@ -113,5 +114,171 @@ func TestServiceWireHostileCounts(t *testing.T) {
 	hostile = append(hostile, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20) // uvarint 2^40
 	if _, err := DecodeDataset(hostile); err == nil {
 		t.Fatal("hostile refs count decoded without error")
+	}
+}
+
+// u32le appends v little-endian — for hand-building golden payloads.
+func u32le(p []byte, v uint32) []byte {
+	return append(p, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func multiSlabDataset(t *testing.T) *workload.Dataset {
+	t.Helper()
+	a := workload.NewArena(0, 4)
+	a.SetMaxSlabBytes(8)
+	for _, s := range []string{"AAAACCCC", "GGGGTTTT", "ACGTACGT", "TTTTAAAA"} {
+		a.Append([]byte(s))
+	}
+	if a.NumSlabs() != 4 {
+		t.Fatalf("fixture spine has %d slabs, want 4", a.NumSlabs())
+	}
+	d := a.NewDataset("multi", workload.PlanOf([]workload.Comparison{
+		{H: 0, V: 1, SeedH: 2, SeedV: 2, SeedLen: 4},
+		{H: 2, V: 3, SeedH: 0, SeedV: 0, SeedLen: 4},
+	}), false)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestServiceWireSingleSlabStaysXDW1: single-slab spines must keep the
+// version-1 framing so every pre-spine payload stays byte-identical.
+func TestServiceWireSingleSlabStaysXDW1(t *testing.T) {
+	p := encodedPayload(t)
+	if string(p[:4]) != "XDW1" {
+		t.Fatalf("single-slab payload framed as %q, want XDW1", p[:4])
+	}
+}
+
+func TestServiceWireMultiSlabRoundTrip(t *testing.T) {
+	d := multiSlabDataset(t)
+	p, err := EncodeDataset(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p[:4]) != "XDW2" {
+		t.Fatalf("multi-slab payload framed as %q, want XDW2", p[:4])
+	}
+	got, err := DecodeDataset(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantArena, wantPlan := d.Spine()
+	gotArena, gotPlan := got.Spine()
+	if gotArena.NumSlabs() != wantArena.NumSlabs() {
+		t.Fatalf("decoded spine has %d slabs, want %d", gotArena.NumSlabs(), wantArena.NumSlabs())
+	}
+	if gotArena.Len() != wantArena.Len() || gotPlan.Len() != wantPlan.Len() {
+		t.Fatalf("decoded %d seqs / %d rows, want %d / %d",
+			gotArena.Len(), gotPlan.Len(), wantArena.Len(), wantPlan.Len())
+	}
+	for i := 0; i < wantArena.Len(); i++ {
+		if gotArena.Ref(i) != wantArena.Ref(i) {
+			t.Fatalf("seq %d span drifted: %+v vs %+v", i, gotArena.Ref(i), wantArena.Ref(i))
+		}
+		if gotArena.Digest(i) != wantArena.Digest(i) {
+			t.Fatalf("seq %d digest drifted across the wire", i)
+		}
+		if string(gotArena.Seq(i)) != string(wantArena.Seq(i)) {
+			t.Fatalf("seq %d bytes drifted across the wire", i)
+		}
+	}
+	// Canonical: decode→encode reproduces the payload byte for byte.
+	p2, err := EncodeDataset(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p2) != string(p) {
+		t.Fatal("XDW2 encoding is not canonical: decode→encode changed bytes")
+	}
+}
+
+// TestServiceWireXDW1GoldenDecode pins version-1 decode compatibility with
+// a hand-rolled byte payload — independent of the current encoder, so an
+// encoder change can never silently redefine what old senders mean.
+func TestServiceWireXDW1GoldenDecode(t *testing.T) {
+	p := []byte{'X', 'D', 'W', '1', 0}
+	p = append(p, 1, 'g')                       // name "g"
+	p = append(p, 8)                            // slab length
+	p = append(p, "AAAACCCC"...)                // slab bytes
+	p = append(p, 2)                            // ref count
+	p = u32le(u32le(p, 0), 4)                   // ref 0: off 0 len 4
+	p = u32le(u32le(p, 4), 4)                   // ref 1: off 4 len 4
+	p = append(p, 1)                            // plan rows
+	for _, v := range []uint32{0, 1, 0, 0, 4} { // H V SeedH SeedV SeedLen columns
+		p = u32le(p, v)
+	}
+	d, err := DecodeDataset(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "g" || d.Protein {
+		t.Fatalf("golden metadata: %q/%v", d.Name, d.Protein)
+	}
+	arena, plan := d.Spine()
+	if arena.Len() != 2 || string(arena.Seq(0)) != "AAAA" || string(arena.Seq(1)) != "CCCC" {
+		t.Fatalf("golden pool corrupt: %d seqs", arena.Len())
+	}
+	if arena.NumSlabs() != 1 {
+		t.Fatalf("golden decoded to %d slabs", arena.NumSlabs())
+	}
+	if plan.Len() != 1 || plan.At(0) != (workload.Comparison{H: 0, V: 1, SeedLen: 4}) {
+		t.Fatalf("golden plan corrupt: %+v", plan.At(0))
+	}
+	// And the golden is canonical: re-encoding reproduces it exactly.
+	p2, err := EncodeDataset(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p2) != string(p) {
+		t.Fatal("re-encoding the XDW1 golden changed bytes")
+	}
+}
+
+func TestServiceWireMultiSlabRejectsCorruption(t *testing.T) {
+	d := multiSlabDataset(t)
+	p, err := EncodeDataset(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"truncated mid-slab": p[:9],
+		"truncated mid-refs": p[:len(p)-30],
+		"trailing":           append(append([]byte{}, p...), 0xAB),
+	}
+	for name, payload := range cases {
+		if _, err := DecodeDataset(payload); err == nil {
+			t.Fatalf("%s payload decoded without error", name)
+		} else if !strings.Contains(err.Error(), "wire") {
+			t.Fatalf("%s: error %q lost the wire prefix", name, err)
+		}
+	}
+}
+
+// TestServiceWireHostileSlabCount: an XDW2 payload claiming 2^40 slabs
+// must fail the bounds check before any per-slab allocation.
+func TestServiceWireHostileSlabCount(t *testing.T) {
+	hostile := []byte{'X', 'D', 'W', '2', 0, 0}                   // magic, flags, empty name
+	hostile = append(hostile, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20) // uvarint 2^40 slabs
+	if _, err := DecodeDataset(hostile); err == nil {
+		t.Fatal("hostile slab count decoded without error")
+	}
+}
+
+// TestServiceWireRejectsOutOfRangeSlabIndex: a span naming a slab the
+// payload never shipped must fail restore, not index out of bounds.
+func TestServiceWireRejectsOutOfRangeSlabIndex(t *testing.T) {
+	p := []byte{'X', 'D', 'W', '2', 0, 0} // magic, flags, empty name
+	p = append(p, 1, 4)                   // 1 slab, 4 bytes
+	p = append(p, "AAAA"...)
+	p = append(p, 1)          // 1 ref
+	p = u32le(p, 7)           // slab 7 of a 1-slab payload
+	p = u32le(u32le(p, 0), 4) // off 0 len 4
+	p = append(p, 0)          // empty plan
+	if _, err := DecodeDataset(p); err == nil {
+		t.Fatal("out-of-range slab index decoded without error")
+	} else if !strings.Contains(err.Error(), "wire") {
+		t.Fatalf("error %q lost the wire prefix", err)
 	}
 }

@@ -58,14 +58,16 @@ func (m *DedupMap) Unique() int { return len(m.UniqueRows) }
 func (m *DedupMap) Duplicates() int { return len(m.RowUID) - len(m.UniqueRows) }
 
 // extSpanKey is the exact in-arena identity of one extension: the
-// canonical slab spans of both sequences plus the seed geometry. Content
+// canonical spine spans of both sequences plus the seed geometry. Content
 // interning guarantees that, within one arena, identical bytes share one
 // canonical span — so span equality is byte equality and the dedup map
 // needs no content hash, making in-plan dedup immune to hash collisions
-// by construction.
+// by construction. The slab indices are part of the span identity:
+// offsets are only meaningful within a slab, so two spans at equal
+// offsets in different slabs must never collapse.
 type extSpanKey struct {
-	hOff, hLen, vOff, vLen int32
-	seedH, seedV, seedLen  int32
+	hSlab, hOff, hLen, vSlab, vOff, vLen int32
+	seedH, seedV, seedLen                int32
 }
 
 // DedupPlan computes the unique-extension mapping of plan p over the
@@ -79,7 +81,8 @@ func (a *Arena) DedupPlan(p *Plan) *DedupMap {
 	for i := 0; i < n; i++ {
 		rh, rv := a.refs[p.H[i]], a.refs[p.V[i]]
 		k := extSpanKey{
-			hOff: rh.Off, hLen: rh.Len, vOff: rv.Off, vLen: rv.Len,
+			hSlab: rh.Slab, hOff: rh.Off, hLen: rh.Len,
+			vSlab: rv.Slab, vOff: rv.Off, vLen: rv.Len,
 			seedH: p.SeedH[i], seedV: p.SeedV[i], seedLen: p.SeedLen[i],
 		}
 		uid, ok := seen[k]

@@ -85,6 +85,87 @@ func TestAppendFastaRollbackPreservesPreexistingInterning(t *testing.T) {
 	}
 }
 
+// TestAppendFastaRollbackAcrossSlabBoundary: a mid-stream error after the
+// spine has rolled to fresh slabs must restore the whole spine atomically
+// — slab count, tail slab fill, open/sealed state, spans and the intern
+// index all back to the mark.
+func TestAppendFastaRollbackAcrossSlabBoundary(t *testing.T) {
+	a := NewArena(0, 4)
+	a.SetMaxSlabBytes(8)
+	a.Append([]byte("AAAA")) // slab 0 half full, open
+
+	before := snapshot(a)
+	// r1 fills slab 0 to the cap, r2 rolls a fresh slab, r3 aborts.
+	bad := ">r1\nCCCC\n>r2\nGGGGTTTT\n>r3\nZZ!\n"
+	if _, err := a.AppendFasta(strings.NewReader(bad), seqio.DNAAlphabet); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+	if got := snapshot(a); got != before {
+		t.Fatalf("cross-slab rollback left partial state: %+v, want %+v", got, before)
+	}
+	if a.NumSlabs() != 1 {
+		t.Fatalf("rollback left %d slabs, want 1", a.NumSlabs())
+	}
+	if st := a.SlabStateOf(0); st != SlabOpen {
+		t.Fatalf("rollback left the tail slab %v, want open", st)
+	}
+
+	// The reopened tail keeps accepting appends in place: the next small
+	// sequence lands in slab 0 at the pre-failure offset, not a new slab.
+	if i := a.Append([]byte("TT")); a.Ref(i) != (SeqRef{Slab: 0, Off: 4, Len: 2}) {
+		t.Fatalf("append after rollback landed at %+v, want {0 4 2}", a.Ref(i))
+	}
+
+	// A clean retry rolls slabs exactly as a fresh stream would (slab 0 is
+	// at 6/8 bytes now, so r1 rolls to slab 1 and r2 to slab 2), and a
+	// record equal to the pre-existing slab-0 sequence interns across the
+	// boundary (no stale index entries survived the rollback).
+	good := ">r1\nCCCC\n>r2\nGGGGTTTT\n>r3\nAAAA\n"
+	ids, err := a.AppendFasta(strings.NewReader(good), seqio.DNAAlphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("retry appended %d records, want 3", len(ids))
+	}
+	if a.NumSlabs() != 3 {
+		t.Errorf("retry left %d slabs, want 3", a.NumSlabs())
+	}
+	if a.Ref(a.Len()-1) != a.Ref(0) {
+		t.Errorf("record equal to pre-existing sequence did not intern across the slab boundary")
+	}
+	if string(a.Seq(3)) != "GGGGTTTT" {
+		t.Errorf("retried roll record corrupt: %q", a.Seq(3))
+	}
+}
+
+// TestAppendFastaRollbackSealedTail: when the tail slab was already sealed
+// at the mark, rollback must not reopen it — the next append still rolls.
+func TestAppendFastaRollbackSealedTail(t *testing.T) {
+	a := NewArena(0, 4)
+	a.SetMaxSlabBytes(8)
+	a.Append([]byte("AAAA"))
+	a.Seal()
+
+	before := snapshot(a)
+	bad := ">r1\nCCCCGGGG\n>bad\nNOPE!\n" // r1 rolls a fresh slab, then abort
+	if _, err := a.AppendFasta(strings.NewReader(bad), seqio.DNAAlphabet); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+	if got := snapshot(a); got != before {
+		t.Fatalf("rollback left partial state: %+v, want %+v", got, before)
+	}
+	if a.NumSlabs() != 1 {
+		t.Fatalf("rollback left %d slabs, want 1", a.NumSlabs())
+	}
+	if st := a.SlabStateOf(0); st != SlabSealed {
+		t.Fatalf("rollback reopened a sealed slab: state %v", st)
+	}
+	if i := a.Append([]byte("TT")); a.Ref(i) != (SeqRef{Slab: 1, Off: 0, Len: 2}) {
+		t.Errorf("append after rollback landed at %+v, want a fresh slab", a.Ref(i))
+	}
+}
+
 func TestValidateCatchesInPlaceComparisonMutation(t *testing.T) {
 	d := &Dataset{
 		Sequences: [][]byte{[]byte("ACGTACGTACGTACGTACGT"), []byte("TTTTCCCCGGGGAAAATTTT")},

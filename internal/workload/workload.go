@@ -50,6 +50,12 @@ type Dataset struct {
 	mu    sync.Mutex
 	arena *Arena
 	plan  *Plan
+	// spineRefs is set for spine-only datasets (NewStreamingDataset):
+	// the arena's span table, so lengths and counts resolve without a
+	// materialised Sequences view and without faulting spilled slabs in.
+	// Written once at construction, never mutated — safe to read without
+	// the mutex.
+	spineRefs []SeqRef
 	// spineSeqs/spineCmps remember the exact slices the cached spine was
 	// built from, so replacing a field wholesale (even with an equal
 	// count) is detected and the stale half rebuilt.
@@ -177,32 +183,64 @@ func (d *Dataset) Invalidate() {
 func (d *Dataset) Clone() *Dataset {
 	c := &Dataset{
 		Name:        d.Name,
-		Sequences:   make([][]byte, len(d.Sequences)),
 		Comparisons: append([]Comparison(nil), d.Comparisons...),
 		Protein:     d.Protein,
 	}
+	if d.Sequences == nil && d.spineRefs != nil {
+		// Spine-only dataset: materialise the copy from the arena
+		// (faulting in any spilled slabs — a clone is fully resident).
+		d.mu.Lock()
+		a := d.arena
+		d.mu.Unlock()
+		c.Sequences = make([][]byte, a.Len())
+		for i := range c.Sequences {
+			c.Sequences[i] = append([]byte(nil), a.Seq(i)...)
+		}
+		return c
+	}
+	c.Sequences = make([][]byte, len(d.Sequences))
 	for i, s := range d.Sequences {
 		c.Sequences[i] = append([]byte(nil), s...)
 	}
 	return c
 }
 
+// NumSeqs returns the pool size. For spine-only datasets it comes from
+// the arena's span table; otherwise from the Sequences view.
+func (d *Dataset) NumSeqs() int {
+	if d.Sequences == nil && d.spineRefs != nil {
+		return len(d.spineRefs)
+	}
+	return len(d.Sequences)
+}
+
+// SeqLen returns sequence i's length without touching its bytes — for
+// spine-only datasets this never faults a spilled slab in, which is what
+// keeps cost estimation and validation residency-free.
+func (d *Dataset) SeqLen(i int) int {
+	if d.Sequences == nil && d.spineRefs != nil {
+		return int(d.spineRefs[i].Len)
+	}
+	return len(d.Sequences[i])
+}
+
 // TotalSeqBytes sums sequence lengths (the logical |Ω|; interning may
 // store less — see Arena.SlabBytes).
 func (d *Dataset) TotalSeqBytes() int64 {
 	var n int64
-	for _, s := range d.Sequences {
-		n += int64(len(s))
+	for i, nseqs := 0, d.NumSeqs(); i < nseqs; i++ {
+		n += int64(d.SeqLen(i))
 	}
 	return n
 }
 
 // Validate checks that every comparison references a pooled sequence and
-// anchors its seed in range, and that the pool fits an arena slab. This
-// delegates to the single implementation shared with Arena.ValidatePlan;
-// the driver calls it once per submission on every entry path, so layers
-// below (partition, kernel) index and build the spine without
-// re-checking.
+// anchors its seed in range, and that every single sequence fits one
+// arena slab (the pool as a whole is unbounded — the spine rolls slabs).
+// This delegates to the single implementation shared with
+// Arena.ValidatePlan; the driver calls it once per submission on every
+// entry path, so layers below (partition, kernel) index and build the
+// spine without re-checking.
 //
 // Validate also rechecks the spine's staleness fingerprints: a producer
 // that mutated Sequences or Comparisons in place (undetectable by slice
@@ -222,17 +260,20 @@ func (d *Dataset) Validate() error {
 		d.plan = nil
 		d.spineCmps = nil
 	}
-	// Only a spine built from the current pool proves the pool fits (at
-	// append time; interning may legitimately make the logical sum exceed
-	// the physical slab). A replaced Sequences slice will be re-packed by
-	// Spine, so it must pass the cap here first.
+	// Only a spine built from the current pool proves its sequences fit
+	// (at append time). A replaced Sequences slice will be re-packed by
+	// Spine, so it must pass the per-sequence cap here first — the pool
+	// total is unbounded now that the spine rolls slabs.
 	poolPacked := d.arena != nil && sameSlice(d.spineSeqs, d.Sequences)
 	d.mu.Unlock()
-	if !poolPacked && d.TotalSeqBytes() > MaxSlabBytes {
-		return fmt.Errorf("workload: sequence pool exceeds the %d-byte arena slab limit", int64(MaxSlabBytes))
+	if !poolPacked {
+		for i, n := 0, d.NumSeqs(); i < n; i++ {
+			if d.SeqLen(i) > MaxSlabBytes {
+				return fmt.Errorf("workload: sequence %d exceeds the %d-byte arena slab limit", i, int64(MaxSlabBytes))
+			}
+		}
 	}
-	return validateComparisons(len(d.Sequences),
-		func(i int) int { return len(d.Sequences[i]) },
+	return validateComparisons(d.NumSeqs(), d.SeqLen,
 		len(d.Comparisons),
 		func(i int) Comparison { return d.Comparisons[i] })
 }
@@ -241,14 +282,14 @@ func (d *Dataset) Validate() error {
 // left and right fragments of H and V around the seed. Table 2 reports
 // their distributions.
 func (d *Dataset) ExtensionLens(c Comparison) (lh, lv, rh, rv int) {
-	h, v := d.Sequences[c.H], d.Sequences[c.V]
-	return c.SeedH, c.SeedV, len(h) - c.SeedH - c.SeedLen, len(v) - c.SeedV - c.SeedLen
+	nh, nv := d.SeqLen(c.H), d.SeqLen(c.V)
+	return c.SeedH, c.SeedV, nh - c.SeedH - c.SeedLen, nv - c.SeedV - c.SeedLen
 }
 
 // Complexity returns |H|·|V| for comparison c, the Table 2 "Complexity"
 // column and the GCUPS numerator (§5.1).
 func (d *Dataset) Complexity(c Comparison) int64 {
-	return int64(len(d.Sequences[c.H])) * int64(len(d.Sequences[c.V]))
+	return int64(d.SeqLen(c.H)) * int64(d.SeqLen(c.V))
 }
 
 // TheoreticalCells sums Complexity over all comparisons.

@@ -160,10 +160,14 @@ type (
 	Comparison = workload.Comparison
 	// Alignment is one comparison's result in dataset coordinates.
 	Alignment = workload.Alignment
-	// Arena is the packed sequence pool Ω: one contiguous slab with
-	// content-interned spans, shared zero-copy by every concurrent job.
+	// Arena is the packed sequence pool Ω: a spine of content-interned
+	// slabs shared zero-copy by every concurrent job. Pools larger than
+	// one slab roll across slabs (SetMaxSlabBytes tunes the cap), and
+	// sealed slabs can spill to disk (EnableSpill/Seal/Spill) with the
+	// driver pinning each batch's slab set back in around execution.
 	Arena = workload.Arena
-	// SeqRef is a sequence span inside an arena slab.
+	// SeqRef is a sequence span inside an arena spine: slab index plus
+	// exact 32-bit offset and length within that slab.
 	SeqRef = workload.SeqRef
 	// CmpPlan is the columnar (struct-of-arrays) comparison table.
 	CmpPlan = workload.Plan
@@ -185,6 +189,8 @@ type (
 // bytes, sequence slots). Fill it with Append/Intern/AppendFasta, build a
 // CmpPlan with PlanOf, then Arena.NewDataset yields the dataset every
 // engine submission can share without duplicating sequence memory.
+// Arena.NewStreamingDataset yields a spine-only view that keeps slabs
+// spillable for pools that outgrow host RAM.
 func NewArena(sizeHint, seqHint int) *Arena {
 	return workload.NewArena(sizeHint, seqHint)
 }
