@@ -69,6 +69,9 @@ func runAlign(args []string) {
 	protein := fs.Bool("protein", false, "treat input as protein (BLOSUM62, gap -2)")
 	maxSlab := fs.Int("maxslab", 0, "arena slab cap in bytes (0 = 2 GiB default); pools roll across slabs")
 	spillDir := fs.String("spill", "", "directory for slab spill files; sealed slabs page to disk between batches")
+	traceback := fs.Bool("traceback", false, "emit CIGARs")
+	traceMin := fs.Int("trace-min-score", 0, "emit CIGARs only for comparisons scoring at least this (0 = all; needs -traceback)")
+	traceMode := fs.String("trace-mode", "auto", "traceback recording strategy: auto, replay or fused")
 	fs.Parse(args)
 	if *in == "" {
 		fs.Usage()
@@ -151,6 +154,9 @@ func runAlign(args []string) {
 		xdropipu.WithModel(xdropipu.GC200),
 		xdropipu.WithPartition(true),
 		xdropipu.WithKernel(kernelConfig(*protein, *x, *deltaB)),
+		xdropipu.WithTraceback(*traceback),
+		xdropipu.WithTraceMinScore(*traceMin),
+		xdropipu.WithTraceMode(parseTraceMode(*traceMode)),
 	)
 	defer eng.Close()
 	job, err := eng.Submit(ctx, d)
@@ -225,6 +231,8 @@ func runServe(args []string) {
 	cache := fs.Int("cache", 0, "cross-job result cache entries per shard (0 = off)")
 	dedup := fs.Bool("dedup", false, "deduplicate identical extensions within a job")
 	traceback := fs.Bool("traceback", false, "emit CIGARs")
+	traceMin := fs.Int("trace-min-score", 0, "emit CIGARs only for comparisons scoring at least this (0 = all; needs -traceback)")
+	traceMode := fs.String("trace-mode", "auto", "traceback recording strategy: auto, replay or fused")
 	window := fs.Int("window", 256, "replay window (chunks) per job for stream resume")
 	linger := fs.Duration("linger", 0, "default grace before a disconnected job is cancelled")
 	rate := fs.Float64("tenant-rate", 0, "per-tenant admitted jobs per second (0 = unlimited)")
@@ -239,6 +247,8 @@ func runServe(args []string) {
 		xdropipu.WithKernel(kernelConfig(*protein, *x, *deltaB)),
 		xdropipu.WithDedupExtensions(*dedup),
 		xdropipu.WithTraceback(*traceback),
+		xdropipu.WithTraceMinScore(*traceMin),
+		xdropipu.WithTraceMode(parseTraceMode(*traceMode)),
 	}
 	if *tiles > 0 {
 		opts = append(opts, xdropipu.WithTilesPerIPU(*tiles))
@@ -287,6 +297,19 @@ func runServe(args []string) {
 			"shard %d: %d jobs, %d batches, %d cells, cache %d/%d hit/miss, %d retries\n",
 			i, st.JobsDone, st.BatchesDone, st.CellsDone, st.CacheHits, st.CacheMisses, st.Retries)
 	}
+}
+
+func parseTraceMode(s string) xdropipu.TraceMode {
+	switch s {
+	case "auto":
+		return xdropipu.TraceModeAuto
+	case "replay":
+		return xdropipu.TraceModeReplay
+	case "fused":
+		return xdropipu.TraceModeFused
+	}
+	fail(fmt.Errorf("unknown -trace-mode %q (want auto, replay or fused)", s))
+	panic("unreachable")
 }
 
 func serveProtocols() *http.Protocols {

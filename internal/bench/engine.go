@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -26,8 +27,11 @@ import (
 // kernel_tiers section (int16 vs int32 throughput per variant on a
 // short-band and a wide-band regime, with tier counters); v6 added the
 // arena_spine section (throughput and link bytes across slab layouts,
-// resident vs spill-before-every-job, bit-identity verified in-bench).
-const EngineBenchSchema = "xdropipu-bench-engine/v6"
+// resident vs spill-before-every-job, bit-identity verified in-bench);
+// v7 added the traceback_fastpath section (score-gated replay and fused
+// single-pass recording: Mcells/s at cutoff off/p50/p95 for both trace
+// modes on a small-band workload, bit-identity verified in-bench).
+const EngineBenchSchema = "xdropipu-bench-engine/v7"
 
 // VariantThroughput is one kernel variant's host-measured throughput.
 type VariantThroughput struct {
@@ -91,6 +95,41 @@ type TracebackThroughput struct {
 	PeakTracebackBytes int `json:"peak_traceback_bytes"`
 	// TracebackBytes is the total recorded trace storage of the run.
 	TracebackBytes int64 `json:"traceback_bytes"`
+}
+
+// TraceFastpathCutoff is one gate setting's measurement in the
+// traceback-fastpath bench: the same workload run with CIGAR emission
+// under the given score cutoff, once per trace mode.
+type TraceFastpathCutoff struct {
+	// Cutoff names the gate setting ("off", "p50", "p95" — percentiles
+	// of the workload's score distribution).
+	Cutoff string `json:"cutoff"`
+	// MinScore is the TraceMinScore value the percentile resolved to
+	// (0 for "off").
+	MinScore int `json:"min_score"`
+	// ReplayMcellsPerSec and FusedMcellsPerSec are computed DP cells
+	// over host wall time under TraceModeReplay vs TraceModeFused.
+	ReplayMcellsPerSec float64 `json:"replay_mcells_per_sec"`
+	FusedMcellsPerSec  float64 `json:"fused_mcells_per_sec"`
+	// TracedExtensions and SkippedExtensions are the gate counters of
+	// the run (identical across modes; disjoint, summing to every
+	// extension).
+	TracedExtensions  int `json:"traced_extensions"`
+	SkippedExtensions int `json:"skipped_extensions"`
+}
+
+// TracebackFastpathThroughput measures the score-gated traceback fast
+// path and the fused single-pass recording on a small-band, hit-sparse
+// workload. Every gated or fused run is verified bit-identical in-bench:
+// above-cutoff results against the ungated replay run, below-cutoff
+// results against the score-only run.
+type TracebackFastpathThroughput struct {
+	// ScoreOnlyMcellsPerSec is the traceback-off baseline on the same
+	// workload — the ceiling the gated path approaches as the cutoff
+	// rises.
+	ScoreOnlyMcellsPerSec float64 `json:"score_only_mcells_per_sec"`
+	// Cutoffs holds one row per gate setting (off, p50, p95).
+	Cutoffs []TraceFastpathCutoff `json:"cutoffs"`
 }
 
 // TierVariantThroughput is one kernel variant's int16-vs-int32
@@ -200,6 +239,8 @@ type EngineBenchResult struct {
 	Dedup      *DedupThroughput     `json:"dedup"`
 	Traceback  *TracebackThroughput `json:"traceback"`
 	Faults     *FaultsThroughput    `json:"faults"`
+	// TracebackFastpath measures the score gate and fused recording.
+	TracebackFastpath *TracebackFastpathThroughput `json:"traceback_fastpath"`
 	// KernelTiers compares the int16 tier to the int32 baseline.
 	KernelTiers *KernelTiersThroughput `json:"kernel_tiers"`
 	// ArenaSpine measures slab-layout and spill costs on the arena spine.
@@ -324,6 +365,12 @@ func EngineBench(opt Options) (*EngineBenchResult, error) {
 		return nil, err
 	}
 	res.Traceback = tb
+
+	tf, err := tracebackFastpathBench(opt)
+	if err != nil {
+		return nil, err
+	}
+	res.TracebackFastpath = tf
 
 	fl, err := faultsBench(opt)
 	if err != nil {
@@ -631,6 +678,103 @@ func tracebackBench(opt Options) (*TracebackThroughput, error) {
 	}, nil
 }
 
+// tracebackFastpathBench measures the score-gated traceback fast path
+// and the fused single-pass recording. The workload is small-band (δb=64,
+// reads capped at ~900 bp so forced fusion's per-thread arenas stay
+// within tile SRAM) and hit-sparse under the higher cutoffs: at p95 only
+// one in twenty comparisons pays for a CIGAR, so throughput should
+// approach the score-only ceiling. Every run is verified bit-identical
+// before any number is reported: above-cutoff results against the
+// ungated replay run, below-cutoff results against the score-only run —
+// which also pins replay and fused to identical output at every cutoff.
+func tracebackFastpathBench(opt Options) (*TracebackFastpathThroughput, error) {
+	d := synth.Reads(synth.ReadsSpec{
+		Name: "trace-fastpath", GenomeLen: opt.n(120_000), Coverage: 12,
+		MeanReadLen: 700, MinReadLen: 300, MaxReadLen: 900,
+		Errors:  synth.MutationProfile{Sub: 0.02, Ins: 0.02, Del: 0.02, Burst: 0.003, BurstLen: 24},
+		SeedLen: 17, MinOverlap: 200, Seed: opt.Seed + 41,
+	})
+	// Racy work stealing duplicates a unit's execution on exact counter
+	// ties, inflating that result's trace stats — and the tie pattern
+	// depends on per-unit instruction costs, which differ between replay
+	// (two passes) and fused (one). That schedule noise is documented,
+	// fingerprinted behaviour, but it would confound the cross-mode
+	// bit-identity oracle here, so the fastpath bench runs statically
+	// scheduled.
+	mkCfg := func(minScore int, mode core.TraceMode) driver.Config {
+		cfg := opt.driverConfig(15, 64, 1)
+		cfg.Kernel.WorkStealing = false
+		cfg.Traceback = true
+		cfg.TraceMinScore = minScore
+		cfg.TraceMode = mode
+		return cfg
+	}
+	scoreCfg := opt.driverConfig(15, 64, 1)
+	scoreCfg.Kernel.WorkStealing = false
+
+	start := time.Now()
+	scoreOnly, err := driver.Run(d, scoreCfg)
+	elOff := time.Since(start).Seconds()
+	if err != nil {
+		return nil, fmt.Errorf("trace fastpath bench (score-only): %w", err)
+	}
+	golden, err := driver.Run(d, mkCfg(0, core.TraceModeReplay))
+	if err != nil {
+		return nil, fmt.Errorf("trace fastpath bench (golden): %w", err)
+	}
+
+	scores := make([]int, len(scoreOnly.Results))
+	for i, r := range scoreOnly.Results {
+		scores[i] = r.Score
+	}
+	sort.Ints(scores)
+	out := &TracebackFastpathThroughput{
+		ScoreOnlyMcellsPerSec: float64(scoreOnly.Cells) / 1e6 / elOff,
+	}
+	for _, cut := range []struct {
+		name  string
+		score int
+	}{
+		{"off", 0},
+		{"p50", scores[len(scores)/2]},
+		{"p95", scores[len(scores)*95/100]},
+	} {
+		row := TraceFastpathCutoff{Cutoff: cut.name, MinScore: cut.score}
+		for _, mode := range []core.TraceMode{core.TraceModeReplay, core.TraceModeFused} {
+			start := time.Now()
+			rep, err := driver.Run(d, mkCfg(cut.score, mode))
+			el := time.Since(start).Seconds()
+			if err != nil {
+				return nil, fmt.Errorf("trace fastpath bench (%s/%s): %w", cut.name, mode, err)
+			}
+			for k := range rep.Results {
+				want := golden.Results[k]
+				if cut.score > 0 && want.Score < cut.score {
+					want = scoreOnly.Results[k]
+				}
+				if rep.Results[k] != want {
+					return nil, fmt.Errorf("trace fastpath bench (%s/%s): result %d diverged from the oracle",
+						cut.name, mode, k)
+				}
+			}
+			if rep.TracedExtensions+rep.TraceSkippedExtensions != 2*len(rep.Results) {
+				return nil, fmt.Errorf("trace fastpath bench (%s/%s): gate counters %d+%d are not a partition of %d extensions",
+					cut.name, mode, rep.TracedExtensions, rep.TraceSkippedExtensions, 2*len(rep.Results))
+			}
+			mcells := float64(rep.Cells) / 1e6 / el
+			if mode == core.TraceModeReplay {
+				row.ReplayMcellsPerSec = mcells
+				row.TracedExtensions = rep.TracedExtensions
+				row.SkippedExtensions = rep.TraceSkippedExtensions
+			} else {
+				row.FusedMcellsPerSec = mcells
+			}
+		}
+		out.Cutoffs = append(out.Cutoffs, row)
+	}
+	return out, nil
+}
+
 // duplicateComparisons returns a view of d with every comparison repeated
 // factor times — the duplicate-heavy shape overlap pipelines produce when
 // candidate sets are resubmitted.
@@ -726,8 +870,11 @@ func VerifyEngineJSON(data []byte) error {
 	}
 	if len(res.Variants) == 0 || len(res.Engine) == 0 || res.Dedup == nil ||
 		res.Traceback == nil || res.Faults == nil || res.KernelTiers == nil ||
-		res.ArenaSpine == nil {
-		return fmt.Errorf("bench: engine JSON is missing sections (variants/engine/dedup/traceback/faults/kernel_tiers/arena_spine)")
+		res.ArenaSpine == nil || res.TracebackFastpath == nil {
+		return fmt.Errorf("bench: engine JSON is missing sections (variants/engine/dedup/traceback/traceback_fastpath/faults/kernel_tiers/arena_spine)")
+	}
+	if len(res.TracebackFastpath.Cutoffs) != 3 {
+		return fmt.Errorf("bench: traceback_fastpath has %d cutoff rows, want 3 (off/p50/p95)", len(res.TracebackFastpath.Cutoffs))
 	}
 	return nil
 }
@@ -780,6 +927,17 @@ func EngineExp(opt Options) error {
 			tb.PeakTracebackBytes, tb.TracebackBytes)
 		tt.AddNote("peak trace is per extension, bounded by the live-window band (2 bits/cell)")
 		tt.Render(opt.W)
+	}
+	if tf := res.TracebackFastpath; tf != nil {
+		ft := metrics.NewTable("Engine — score-gated traceback fast path (host-measured)",
+			"cutoff", "min score", "replay Mcells/s", "fused Mcells/s", "traced", "skipped")
+		for _, c := range tf.Cutoffs {
+			ft.AddRow(c.Cutoff, c.MinScore, c.ReplayMcellsPerSec, c.FusedMcellsPerSec,
+				c.TracedExtensions, c.SkippedExtensions)
+		}
+		ft.AddNote("score-only ceiling %.1f Mcells/s; replay and fused verified bit-identical to the ungated/score-only oracle at every cutoff",
+			tf.ScoreOnlyMcellsPerSec)
+		ft.Render(opt.W)
 	}
 	if fl := res.Faults; fl != nil {
 		ft := metrics.NewTable("Engine — throughput under injected transient faults (retries on)",

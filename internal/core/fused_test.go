@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sram-align/xdropipu/internal/alignment"
+)
+
+// fusedVariants is tbVariants minus the full-matrix reference, which is
+// never fused-eligible.
+func fusedVariants() map[string]Params {
+	m := tbVariants()
+	delete(m, "reference")
+	return m
+}
+
+// checkFusedExtension runs one extension side three ways — score-only,
+// two-pass replay, fused single-pass — and pins the three-way contract:
+// the fused Result bit-matches the score kernel in every field (the
+// kernel accumulates fused Stats as if the score kernel ran), and the
+// fused Trace bit-matches the replay tracer's (score, end points, CIGAR,
+// clamp flag and trace-byte accounting), with the CIGAR independently
+// re-scoring to the kernel score.
+func checkFusedExtension(t *testing.T, h, v []byte, hOff, vOff int, right bool, p Params, label string) {
+	t.Helper()
+	var ws Workspace
+	var want Result
+	var replay Trace
+	var fr Result
+	var ft Trace
+	var err error
+	if right {
+		want = ws.ExtendRight(h, v, hOff, vOff, p)
+		replay, err = ws.TracebackRight(h, v, hOff, vOff, p)
+		if err != nil {
+			t.Fatalf("%s: TracebackRight: %v", label, err)
+		}
+		fr, ft, err = ws.FusedExtendRight(h, v, hOff, vOff, p)
+	} else {
+		want = ws.ExtendLeft(h, v, hOff, vOff, p)
+		replay, err = ws.TracebackLeft(h, v, hOff, vOff, p)
+		if err != nil {
+			t.Fatalf("%s: TracebackLeft: %v", label, err)
+		}
+		fr, ft, err = ws.FusedExtendLeft(h, v, hOff, vOff, p)
+	}
+	if err != nil {
+		t.Fatalf("%s: fused: %v", label, err)
+	}
+	if fr != want {
+		t.Fatalf("%s: fused Result differs from score kernel:\nfused: %+v\nscore: %+v", label, fr, want)
+	}
+	if ft.Score != replay.Score || ft.EndH != replay.EndH || ft.EndV != replay.EndV {
+		t.Fatalf("%s: fused trace (%d,%d,%d) != replay (%d,%d,%d)", label,
+			ft.Score, ft.EndH, ft.EndV, replay.Score, replay.EndH, replay.EndV)
+	}
+	if ft.Cigar != replay.Cigar {
+		t.Fatalf("%s: fused cigar %q != replay cigar %q", label, ft.Cigar, replay.Cigar)
+	}
+	if ft.Clamped != replay.Clamped {
+		t.Fatalf("%s: fused clamp flag %v != replay %v", label, ft.Clamped, replay.Clamped)
+	}
+	if ft.TraceBytes != replay.TraceBytes {
+		t.Fatalf("%s: fused trace bytes %d != replay %d", label, ft.TraceBytes, replay.TraceBytes)
+	}
+	// Independent oracle: the CIGAR re-scores to the kernel score over
+	// the exact aligned spans.
+	var fh, fv []byte
+	if right {
+		fh, fv = h[hOff:hOff+ft.EndH], v[vOff:vOff+ft.EndV]
+	} else {
+		fh, fv = h[hOff-ft.EndH:hOff], v[vOff-ft.EndV:vOff]
+	}
+	recon, err := alignment.ScoreOf(fh, fv, ft.Cigar, p.Scorer, p.Gap, p.GapOpen)
+	if err != nil {
+		t.Fatalf("%s: reconstruction: %v (cigar %q)", label, err, ft.Cigar)
+	}
+	if recon != want.Score {
+		t.Fatalf("%s: reconstructed score %d != kernel %d (cigar %q)", label, recon, want.Score, ft.Cigar)
+	}
+}
+
+// TestFusedDifferentialOracle is the three-way seeded-fuzz oracle:
+// score-only vs replay vs fused across every fused-eligible variant,
+// tier, size class and mutation rate, on both extension sides.
+func TestFusedDifferentialOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	for name, base := range fusedVariants() {
+		for _, tier := range []Tier{TierWide, TierNarrow, TierAuto} {
+			p := base
+			p.Tier = tier
+			for _, size := range []int{40, 200, 700} {
+				for _, rate := range []float64{0.03, 0.25} {
+					for it := 0; it < 3; it++ {
+						h := randDNA(rng, size)
+						v := mutate(rng, h, rate)
+						k := 9
+						if k > len(v) {
+							k = len(v)
+						}
+						sH := rng.Intn(len(h) - k + 1)
+						sV := rng.Intn(len(v) - k + 1)
+						copy(v[sV:sV+k], h[sH:sH+k])
+						label := name + "/" + tier.String()
+						// The kernel only fuses eligible extensions;
+						// mirror that gate here so the Result equality
+						// check always compares like against like.
+						if FusedEligible(sH, sV, p) {
+							checkFusedExtension(t, h, v, sH, sV, false, p, label+"/left")
+						}
+						rh, rv := len(h)-sH-k, len(v)-sV-k
+						if FusedEligible(rh, rv, p) {
+							checkFusedExtension(t, h, v, sH+k, sV+k, true, p, label+"/right")
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusedEligibility pins the gate: the reference oracle never fuses,
+// narrow-tier extensions never fuse (fusing them would change the batch
+// tier counters), and wide extensions of every production variant do.
+func TestFusedEligibility(t *testing.T) {
+	dna := tbVariants()["restricted2-db256"]
+	if FusedEligible(300, 300, dna) != true {
+		t.Fatal("wide restricted2 extension not fused-eligible")
+	}
+	ref := tbVariants()["reference"]
+	if FusedEligible(300, 300, ref) {
+		t.Fatal("reference oracle fused-eligible")
+	}
+	narrow := dna
+	narrow.Tier = TierNarrow
+	if FusedEligible(100, 100, narrow) {
+		t.Fatal("narrow-tier extension fused-eligible; fusing would change tier counters")
+	}
+	// Past the int16 headroom the auto tier falls back to wide lanes,
+	// and eligibility returns with it.
+	wideAgain := dna
+	wideAgain.Tier = TierAuto
+	if !FusedEligible(satGuard16+1, satGuard16+1, wideAgain) {
+		t.Fatal("auto tier past the narrow headroom should be fused-eligible")
+	}
+}
+
+// TestFusedEmptyAndEdgeExtensions covers the degenerate geometries the
+// peeled loops are most likely to get wrong.
+func TestFusedEmptyAndEdgeExtensions(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for name, p := range fusedVariants() {
+		for _, mn := range [][2]int{{0, 0}, {0, 17}, {17, 0}, {1, 1}, {2, 1}, {33, 29}} {
+			h := randDNA(rng, mn[0])
+			v := mutate(rng, h, 0.2)
+			for len(v) < mn[1] {
+				v = append(v, randDNA(rng, mn[1]-len(v))...)
+			}
+			v = v[:mn[1]]
+			checkFusedExtension(t, h, v, 0, 0, true, p, name+"/edge-right")
+			checkFusedExtension(t, h, v, len(h), len(v), false, p, name+"/edge-left")
+		}
+	}
+}

@@ -59,6 +59,11 @@ type tracer struct {
 	dirs []byte  // packed direction codes
 	ops  []byte  // walker scratch: one op byte per alignment column
 
+	// codes is the fused kernels' unpacked scratch row: one byte per
+	// window cell, packed into dirs once per antidiagonal (packRow), so
+	// the scoring loop never does per-cell read-modify-write on dirs.
+	codes []byte
+
 	bits uint // bits per cell this recording uses (2 linear, 4 affine)
 }
 
@@ -69,15 +74,29 @@ func (tb *tracer) reset(bits uint) {
 	tb.bits = bits
 }
 
-// maxTraceCells caps the recorded cells of one replay so the int32
+// maxTraceCells caps the recorded cells of one recording so the int32
 // prefix offsets cannot wrap. The fleet path never gets near it (tile
 // SRAM bounds extensions first); the direct host API errors cleanly
-// instead of corrupting a multi-hundred-MB trace.
-const maxTraceCells = 1<<31 - 1
+// instead of corrupting a multi-hundred-MB trace. A variable only so
+// SetTraceCellCapForTest can inject a tiny cap.
+var maxTraceCells int64 = 1<<31 - 1
 
-// errTraceTooLarge reports a replay whose recording would exceed the
-// 31-bit cell space (host-API-only; tile extensions are SRAM-bounded).
-var errTraceTooLarge = fmt.Errorf("core: traceback recording exceeds %d cells (extension too large; restrict δb or split the extension)", maxTraceCells)
+// ErrTraceTooLarge reports a traceback recording (replay or fused) that
+// would exceed the 31-bit cell space (host-API-only; tile extensions
+// are SRAM-bounded). Callers distinguish it with errors.Is: it is a
+// per-extension resource condition, not a kernel bug, so the kernel
+// degrades the one affected comparison instead of failing the batch.
+var ErrTraceTooLarge = fmt.Errorf("core: traceback recording exceeds the recordable cell space (extension too large; restrict δb or split the extension)")
+
+// SetTraceCellCapForTest lowers the recording cell cap and returns a
+// restore func. Test-only: it lets regression tests force the
+// ErrTraceTooLarge path on small inputs. Not safe for concurrent use
+// with running kernels.
+func SetTraceCellCapForTest(n int64) (restore func()) {
+	old := maxTraceCells
+	maxTraceCells = n
+	return func() { maxTraceCells = old }
+}
 
 // beginDiag opens the recording window [cl, cl+width) for the next
 // antidiagonal and returns the cell offset its codes start at, or -1
@@ -139,6 +158,87 @@ func (tb *tracer) code(d, i int) (byte, error) {
 // the per-antidiagonal window index.
 func (tb *tracer) traceBytes() int {
 	return len(tb.dirs) + 4*len(tb.cls) + 4*len(tb.offs)
+}
+
+// tracerRetainBytes is the high-water threshold above which trim
+// releases a recording buffer instead of keeping it warm. Workspaces
+// are pooled for the engine's lifetime, so without the cap one outlier
+// extension would pin its worst-case arena on every pooled workspace
+// forever; 1 MiB comfortably covers every SRAM-certified tile extension
+// (ExtensionTraceBytes tops out well below tile SRAM) while letting
+// host-API outliers be returned to the allocator.
+const tracerRetainBytes = 1 << 20
+
+// trim releases recording buffers that grew past tracerRetainBytes.
+// Called after the recording's ops have been consumed (encodeOps) —
+// every buffer here is rebuilt from scratch by the next recording.
+func (tb *tracer) trim() {
+	if cap(tb.dirs) > tracerRetainBytes {
+		tb.dirs = nil
+	}
+	if cap(tb.cls)*4 > tracerRetainBytes {
+		tb.cls = nil
+	}
+	if cap(tb.offs)*4 > tracerRetainBytes {
+		tb.offs = nil
+	}
+	if cap(tb.ops) > tracerRetainBytes {
+		tb.ops = nil
+	}
+	if cap(tb.codes) > tracerRetainBytes {
+		tb.codes = nil
+	}
+}
+
+// growCodes returns the unpacked per-cell scratch row for one window.
+func (tb *tracer) growCodes(n int) []byte {
+	if cap(tb.codes) < n {
+		tb.codes = make([]byte, n)
+	}
+	return tb.codes[:n]
+}
+
+// packRow packs one window's unpacked codes into dirs starting at cell
+// offset base (as returned by beginDiag). Head and tail cells that share
+// a byte with a neighboring window are read-modify-written; the aligned
+// body is stored whole-byte, so packing costs ~width/4 byte stores
+// instead of width RMWs.
+func (tb *tracer) packRow(base int32, codes []byte) {
+	idx := uint(base)
+	k := 0
+	if tb.bits == 2 {
+		for ; k < len(codes) && idx&3 != 0; k++ {
+			shift := (idx & 3) * 2
+			b := &tb.dirs[idx>>2]
+			*b = *b&^(3<<shift) | codes[k]<<shift
+			idx++
+		}
+		for ; k+4 <= len(codes); k += 4 {
+			tb.dirs[idx>>2] = codes[k] | codes[k+1]<<2 | codes[k+2]<<4 | codes[k+3]<<6
+			idx += 4
+		}
+		for ; k < len(codes); k++ {
+			shift := (idx & 3) * 2
+			b := &tb.dirs[idx>>2]
+			*b = *b&^(3<<shift) | codes[k]<<shift
+			idx++
+		}
+		return
+	}
+	for ; k < len(codes) && idx&1 != 0; k++ {
+		b := &tb.dirs[idx>>1]
+		*b = *b&^(15<<4) | codes[k]<<4
+		idx++
+	}
+	for ; k+2 <= len(codes); k += 2 {
+		tb.dirs[idx>>1] = codes[k] | codes[k+1]<<4
+		idx += 2
+	}
+	for ; k < len(codes); k++ {
+		b := &tb.dirs[idx>>1]
+		*b = *b&^15 | codes[k]
+		idx++
+	}
 }
 
 // Trace is the outcome of one extension's traceback replay.
@@ -243,7 +343,7 @@ func (w *Workspace) traceLinear(h, v View, p Params) (Trace, error) {
 		lo, hi := -1, -1
 		base := tb.beginDiag(cl, width)
 		if base < 0 {
-			return Trace{}, errTraceTooLarge
+			return Trace{}, ErrTraceTooLarge
 		}
 		for i := cl; i <= cu; i++ {
 			j := d - i
@@ -393,7 +493,7 @@ func (w *Workspace) traceAffine(h, v View, p Params) (Trace, error) {
 		lo, hi := -1, -1
 		base := tb.beginDiag(cl, width)
 		if base < 0 {
-			return Trace{}, errTraceTooLarge
+			return Trace{}, ErrTraceTooLarge
 		}
 		for i := cl; i <= cu; i++ {
 			j := d - i
@@ -594,9 +694,11 @@ func encodeOps(ops []byte, rev bool) alignment.Cigar {
 func (w *Workspace) TracebackExtension(h, v View, p Params) (Trace, error) {
 	tr, err := w.traceback(h, v, p)
 	if err != nil {
+		w.tb.trim()
 		return Trace{}, err
 	}
 	tr.Cigar = encodeOps(w.tb.ops, true)
+	w.tb.trim()
 	return tr, nil
 }
 
@@ -613,9 +715,11 @@ func (w *Workspace) TracebackRight(h, v []byte, hOff, vOff int, p Params) (Trace
 func (w *Workspace) TracebackLeft(h, v []byte, hOff, vOff int, p Params) (Trace, error) {
 	tr, err := w.traceback(NewReversedView(h[:hOff]), NewReversedView(v[:vOff]), p)
 	if err != nil {
+		w.tb.trim()
 		return Trace{}, err
 	}
 	tr.Cigar = encodeOps(w.tb.ops, false)
+	w.tb.trim()
 	return tr, nil
 }
 

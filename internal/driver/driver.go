@@ -78,6 +78,26 @@ type Config struct {
 	// never serves CIGAR-less entries to a traceback-enabled run (or vice
 	// versa). Off, reports are bit-identical to the score-only stack.
 	Traceback bool
+	// TraceMinScore gates the traceback cost behind a score cutoff:
+	// comparisons whose total score (left + seed + right) falls below it
+	// deliver score-only results, and only the keepers pay the recording
+	// replay — mirroring seed-and-extend pipelines that report only
+	// above-threshold alignments. Zero or negative traces everything.
+	// Ignored without Traceback. Normalized folds it into
+	// Kernel.TraceMinScore, and it is part of KernelFingerprint while
+	// tracing, so a cache hit from a differently-gated run can never fan
+	// out a stale (or missing) CIGAR.
+	TraceMinScore int
+	// TraceMode selects how directions are recorded when a comparison is
+	// traced: core.TraceModeAuto fuses recording into the scoring pass
+	// when the extension's direction arena fits the per-thread budget
+	// (replaying otherwise), core.TraceModeReplay always replays (the
+	// PR 5 two-pass scheme), core.TraceModeFused forces fusing wherever
+	// the kernel is eligible. Fused and replayed recordings are
+	// bit-identical; the modes differ in SRAM charging and modeled time,
+	// and fold into KernelFingerprint while tracing. Normalized mirrors
+	// it with Kernel.TraceMode (non-auto wins).
+	TraceMode core.TraceMode
 	// KernelTier selects the kernel score width (core.TierWide, the
 	// int32 default; core.TierNarrow, int16 with transparent saturation
 	// promotion; core.TierAuto, int16 only under the headroom proof).
@@ -173,6 +193,15 @@ func KernelFingerprint(cfg ipukernel.Config, model platform.IPUModel) uint64 {
 	// must not cross tiers. Resolved (not raw) so the two equivalent
 	// knobs — Config.KernelTier and Params.Tier — never alias apart.
 	put(int64(cfg.Tier()))
+	if cfg.Traceback {
+		// The gate cutoff decides which results carry CIGARs and the
+		// mode decides what the trace accounting describes — entries
+		// from gated/ungated or fused/replay runs must never mix, or a
+		// warm hit below the cutoff would fan out a stale CIGAR. Hashed
+		// only while tracing so score-only runs keep sharing entries.
+		put(int64(cfg.TraceMinScore))
+		put(int64(cfg.TraceMode))
+	}
 	if p.Scorer != nil {
 		tab := p.Scorer.Table()
 		row := make([]byte, len(tab[0]))
@@ -215,8 +244,9 @@ type Plan struct {
 	cacheHits, cacheMiss int
 	skippedCells         int64
 	// traceback accounting
-	peakTraceBytes int
-	traceBytes     int64
+	peakTraceBytes        int
+	traceBytes            int64
+	tracedExt, skippedExt int
 	// kernel-tier accounting
 	narrowExt, wideExt, promotedExt int
 	// degraded completion accounting
@@ -288,6 +318,12 @@ type Report struct {
 	// over every executed extension.
 	PeakTracebackBytes int
 	TracebackBytes     int64
+	// TracedExtensions counts executed extensions that delivered a
+	// recorded trace; TraceSkippedExtensions counts ones the score gate
+	// skipped (score-only results). Disjoint; both zero with traceback
+	// off, and trace-overflow-degraded comparisons count in neither.
+	TracedExtensions       int
+	TraceSkippedExtensions int
 	// PartialFailures counts comparisons that completed with a Failed
 	// placeholder instead of an alignment — quarantined work the engine's
 	// degraded partial-failure mode chose to report rather than retry
@@ -333,6 +369,17 @@ func (c Config) Normalized() Config {
 	// one flag no matter which level enabled it. Idempotent.
 	c.Kernel.Traceback = c.Kernel.Traceback || c.Traceback
 	c.Traceback = c.Kernel.Traceback
+	// The trace gate and mode fold the same way (non-zero / non-auto
+	// wins), so the fingerprint, the SRAM model and the tile kernel see
+	// one choice regardless of which level set it. Idempotent.
+	if c.Kernel.TraceMinScore == 0 {
+		c.Kernel.TraceMinScore = c.TraceMinScore
+	}
+	c.TraceMinScore = c.Kernel.TraceMinScore
+	if c.Kernel.TraceMode == core.TraceModeAuto {
+		c.Kernel.TraceMode = c.TraceMode
+	}
+	c.TraceMode = c.Kernel.TraceMode
 	// Same for the kernel tier: non-wide wins, mirrored on both knobs.
 	if c.KernelTier == core.TierWide {
 		c.KernelTier = c.Kernel.Tier()
@@ -811,6 +858,8 @@ func AssemblePlan(bp *BatchPlan, outs []*ipukernel.BatchResult) (*Plan, error) {
 		p.stealOps += res.StealOps
 		p.skippedCells += res.DedupSkippedCells
 		p.traceBytes += res.TraceBytes
+		p.tracedExt += res.TracedExtensions
+		p.skippedExt += res.TraceSkippedExtensions
 		p.narrowExt += res.NarrowExtensions
 		p.wideExt += res.WideExtensions
 		p.promotedExt += res.PromotedExtensions
@@ -947,6 +996,8 @@ func (p *Plan) Schedule(ipus int) *Report {
 		SkippedTheoreticalCells: p.skippedCells,
 		PeakTracebackBytes:      p.peakTraceBytes,
 		TracebackBytes:          p.traceBytes,
+		TracedExtensions:        p.tracedExt,
+		TraceSkippedExtensions:  p.skippedExt,
 		PartialFailures:         p.partialFailures,
 		NarrowExtensions:        p.narrowExt,
 		WideExtensions:          p.wideExt,

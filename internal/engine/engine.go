@@ -116,6 +116,8 @@ type Engine struct {
 	stNarrow    int64
 	stWide      int64
 	stPromoted  int64
+	stTraced    int64
+	stSkipped   int64
 	stRetries   int64
 	stHedges    int64
 	stQuarant   int64
@@ -195,6 +197,33 @@ func WithResultCache(entries int) Option {
 // back out to every duplicate comparison, and the cache keys include the
 // traceback flag so score-only and traceback runs never share entries.
 func WithTraceback(on bool) Option { return func(e *Engine) { e.cfg.Traceback = on } }
+
+// WithTraceMinScore gates the traceback cost behind a score cutoff for
+// every job the engine serves: comparisons whose total score falls below
+// min deliver score-only results (no CIGAR) and skip the recording
+// replay entirely, so hit-sparse workloads pay traceback only for the
+// alignments they keep. Zero or negative traces everything; ignored
+// without WithTraceback. The cutoff is part of the kernel fingerprint,
+// so gated and ungated runs never share result-cache entries — a warm
+// hit below the cutoff can never fan out a stale CIGAR. The
+// TracedExtensions/TraceSkippedExtensions counters in Stats (and every
+// Report) split the executed extensions across the gate.
+func WithTraceMinScore(min int) Option {
+	return func(e *Engine) { e.cfg.TraceMinScore = min }
+}
+
+// WithTraceMode selects how traced comparisons record their directions:
+// core.TraceModeAuto (default) fuses recording into the scoring pass
+// whenever the extension's direction arena fits the per-thread budget
+// and replays otherwise; core.TraceModeReplay always uses the two-pass
+// replay; core.TraceModeFused forces single-pass recording wherever the
+// kernel is eligible. Fused and replayed recordings are bit-identical —
+// the modes differ only in SRAM charging and modeled time — but the mode
+// is still part of the kernel fingerprint, so caches never mix entries
+// whose trace accounting describes different execution shapes.
+func WithTraceMode(m core.TraceMode) Option {
+	return func(e *Engine) { e.cfg.TraceMode = m }
+}
 
 // WithKernelTier selects the kernel score width for every job the engine
 // serves: core.TierWide (the int32 default), core.TierNarrow (int16
@@ -380,24 +409,32 @@ type Stats struct {
 	// WideExtensions ran int32 outright. All zero until a job opts into
 	// WithKernelTier (or a narrow driver/kernel config).
 	NarrowExtensions, WideExtensions, PromotedExtensions int64
+	// Traceback fast-path counters over every executed extension:
+	// TracedExtensions delivered a recorded trace (CIGAR),
+	// TraceSkippedExtensions fell below WithTraceMinScore's cutoff and
+	// delivered score-only results. Disjoint; both zero without
+	// WithTraceback.
+	TracedExtensions, TraceSkippedExtensions int64
 }
 
 // Stats returns engine-lifetime counters.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	st := Stats{
-		JobsDone:           e.doneJobs,
-		BatchesDone:        e.doneBatches,
-		CellsDone:          e.doneCells,
-		JobsLive:           e.live,
-		InflightBatches:    e.busy,
-		NarrowExtensions:   e.stNarrow,
-		WideExtensions:     e.stWide,
-		PromotedExtensions: e.stPromoted,
-		Retries:            e.stRetries,
-		Hedges:             e.stHedges,
-		Quarantined:        e.stQuarant,
-		DeadlineExceeded:   e.stDeadline,
+		JobsDone:               e.doneJobs,
+		BatchesDone:            e.doneBatches,
+		CellsDone:              e.doneCells,
+		JobsLive:               e.live,
+		InflightBatches:        e.busy,
+		NarrowExtensions:       e.stNarrow,
+		WideExtensions:         e.stWide,
+		PromotedExtensions:     e.stPromoted,
+		TracedExtensions:       e.stTraced,
+		TraceSkippedExtensions: e.stSkipped,
+		Retries:                e.stRetries,
+		Hedges:                 e.stHedges,
+		Quarantined:            e.stQuarant,
+		DeadlineExceeded:       e.stDeadline,
 	}
 	e.mu.Unlock()
 	if f := e.cfg.Faults; f != nil {
@@ -809,6 +846,8 @@ func (e *Engine) deliver(j *Job, bi int, out *ipukernel.BatchResult, err error, 
 	e.stNarrow += int64(out.NarrowExtensions)
 	e.stWide += int64(out.WideExtensions)
 	e.stPromoted += int64(out.PromotedExtensions)
+	e.stTraced += int64(out.TracedExtensions)
+	e.stSkipped += int64(out.TraceSkippedExtensions)
 	if j.streaming {
 		if !streaming {
 			upd = streamUpdate(j, bi, out)

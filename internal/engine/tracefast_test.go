@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"github.com/sram-align/xdropipu/internal/core"
+	"github.com/sram-align/xdropipu/internal/driver"
+)
+
+// TestWithTraceMinScoreOptionFingerprint: with traceback on, the score
+// gate must split the kernel fingerprint (gated and ungated runs record
+// different payloads, so their cache entries must never alias); with
+// traceback off the knob is inert and must not split score-only caches.
+func TestWithTraceMinScoreOptionFingerprint(t *testing.T) {
+	on := testCfg(1)
+	on.Traceback = true
+	onN := on.Normalized()
+	gated := on
+	gated.TraceMinScore = 80
+	gatedN := gated.Normalized()
+	if driver.KernelFingerprint(onN.Kernel, onN.Model) == driver.KernelFingerprint(gatedN.Kernel, gatedN.Model) {
+		t.Fatal("trace score gate does not change the traceback kernel fingerprint")
+	}
+
+	off := testCfg(1).Normalized()
+	gatedOff := testCfg(1)
+	gatedOff.TraceMinScore = 80
+	gatedOffN := gatedOff.Normalized()
+	if driver.KernelFingerprint(off.Kernel, off.Model) != driver.KernelFingerprint(gatedOffN.Kernel, gatedOffN.Model) {
+		t.Fatal("trace score gate split the score-only fingerprint; score-only runs should share entries")
+	}
+
+	e := New(WithDriverConfig(testCfg(1)), WithTraceback(true), WithTraceMinScore(80))
+	defer e.Close()
+	if e.Config().Kernel.TraceMinScore != 80 {
+		t.Fatal("WithTraceMinScore did not reach the kernel config")
+	}
+}
+
+// TestWithTraceModeOptionFingerprint: replay and fused recordings are
+// bit-identical, but the mode still keys the fingerprint under traceback
+// (execution traces and SRAM charges differ); score-only runs ignore it.
+func TestWithTraceModeOptionFingerprint(t *testing.T) {
+	on := testCfg(1)
+	on.Traceback = true
+	replay := on
+	replay.TraceMode = core.TraceModeReplay
+	replayN := replay.Normalized()
+	fused := on
+	fused.TraceMode = core.TraceModeFused
+	fusedN := fused.Normalized()
+	if driver.KernelFingerprint(replayN.Kernel, replayN.Model) == driver.KernelFingerprint(fusedN.Kernel, fusedN.Model) {
+		t.Fatal("trace mode does not change the traceback kernel fingerprint")
+	}
+
+	off := testCfg(1).Normalized()
+	fusedOff := testCfg(1)
+	fusedOff.TraceMode = core.TraceModeFused
+	fusedOffN := fusedOff.Normalized()
+	if driver.KernelFingerprint(off.Kernel, off.Model) != driver.KernelFingerprint(fusedOffN.Kernel, fusedOffN.Model) {
+		t.Fatal("trace mode split the score-only fingerprint; score-only runs should share entries")
+	}
+
+	e := New(WithDriverConfig(testCfg(1)), WithTraceback(true), WithTraceMode(core.TraceModeFused))
+	defer e.Close()
+	if e.Config().Kernel.TraceMode != core.TraceModeFused {
+		t.Fatal("WithTraceMode did not reach the kernel config")
+	}
+}
+
+// TestEngineTraceCounters: the traced/skipped extension counters must
+// aggregate through Engine.Stats — every extension traced on an ungated
+// traceback engine, every extension skipped under an unreachable gate.
+func TestEngineTraceCounters(t *testing.T) {
+	d := readsData(t, 31, 16)
+
+	e := New(WithDriverConfig(testCfg(1)), WithTraceback(true))
+	job, err := e.Submit(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collectStream(t, job, len(d.Comparisons))
+	st := e.Stats()
+	e.Close()
+	if st.TracedExtensions != int64(2*len(d.Comparisons)) || st.TraceSkippedExtensions != 0 {
+		t.Fatalf("ungated engine: traced=%d skipped=%d, want %d/0",
+			st.TracedExtensions, st.TraceSkippedExtensions, 2*len(d.Comparisons))
+	}
+
+	g := New(WithDriverConfig(testCfg(1)), WithTraceback(true), WithTraceMinScore(1<<30))
+	job, err = g.Submit(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectStream(t, job, len(d.Comparisons))
+	st = g.Stats()
+	g.Close()
+	if st.TraceSkippedExtensions != int64(2*len(d.Comparisons)) || st.TracedExtensions != 0 {
+		t.Fatalf("gated engine: traced=%d skipped=%d, want 0/%d",
+			st.TracedExtensions, st.TraceSkippedExtensions, 2*len(d.Comparisons))
+	}
+	for i, r := range got {
+		if r.Cigar != "" || r.TraceBytes != 0 {
+			t.Fatalf("comparison %d under an unreachable gate carries trace payload: %+v", i, r)
+		}
+	}
+}

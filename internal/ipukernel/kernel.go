@@ -215,6 +215,29 @@ type Config struct {
 	// extension — into the SRAM gate alongside the DP buffers, making
 	// traceback runs SRAM-certified end-to-end.
 	Traceback bool
+	// TraceMinScore gates the traceback pass on the comparison's total
+	// score (left + seed + right): with a positive cutoff only
+	// comparisons that reach it are traced — the rest return score-only
+	// results (no CIGAR, no trace bytes), exactly as a score-only run
+	// would report them. Gated replays are deferred until both extension
+	// scores are known and are charged to the threads that scored the
+	// sides. Zero or negative traces every comparison. Ignored unless
+	// Traceback is set; part of the kernel fingerprint (when tracing), so
+	// gated and ungated runs never share cache entries.
+	TraceMinScore int
+	// TraceMode selects how direction data is recorded when tracing:
+	// core.TraceModeAuto (fuse recording into the scoring pass for
+	// eligible extensions whose arena bound fits the per-thread fused
+	// budget), core.TraceModeReplay (always the PR 5 two-pass replay) or
+	// core.TraceModeFused (fuse every eligible extension). Fused
+	// recordings live on their thread for the whole scoring pass, so
+	// TileMemoryBytes charges one arena per thread for them; the replay
+	// path keeps the single serialized arena allowance. The score gate
+	// takes precedence: with TraceMinScore active every traced extension
+	// uses the deferred replay (a fused recording cannot be deferred —
+	// its buffers are clobbered by the thread's next extension). Part of
+	// the kernel fingerprint when tracing.
+	TraceMode core.TraceMode
 	// KernelTier selects the kernel score width: core.TierWide (the
 	// default int32 kernels), core.TierNarrow (attempt int16 with runtime
 	// saturation promotion) or core.TierAuto (int16 only when the
@@ -255,6 +278,36 @@ func (c Config) withDefaults(m platform.IPUModel) Config {
 	c.KernelTier = c.Tier()
 	c.Params.Tier = c.KernelTier
 	return c
+}
+
+// fusedTraceBudget is the per-thread direction-arena allowance of the
+// auto trace mode: an extension fuses only when its ExtensionTraceBytes
+// bound fits, so the concurrent recordings of a six-thread tile cost at
+// most 6×16 KiB — under a sixth of the 624 KiB tile — while small-band
+// extensions (the common X-Drop case) still skip the replay.
+const fusedTraceBudget = 16 << 10
+
+// traceGated reports whether the score-threshold gate is active.
+func (c Config) traceGated() bool { return c.Traceback && c.TraceMinScore > 0 }
+
+// fusedExtension decides whether an extension with side lengths lh×lv
+// records directions during the scoring pass (fused single-pass) rather
+// than replaying. The decision is part of the SRAM model — partition's
+// budget math calls it too — so it resolves the tier itself instead of
+// relying on the defaults pass.
+func (c Config) fusedExtension(lh, lv int) bool {
+	if !c.Traceback || c.traceGated() || c.TraceMode == core.TraceModeReplay {
+		return false
+	}
+	p := c.Params
+	p.Tier = c.Tier()
+	if !core.FusedEligible(lh, lv, p) {
+		return false
+	}
+	if c.TraceMode == core.TraceModeFused {
+		return true
+	}
+	return c.ExtensionTraceBytes(lh, lv) <= fusedTraceBudget
 }
 
 // Tier resolves the effective kernel tier from the two equivalent knobs
@@ -361,11 +414,14 @@ func (c Config) ExtensionTraceBytes(lh, lv int) int {
 
 // TileMemoryBytes returns the SRAM footprint of a tile's work under the
 // kernel configuration: sequences, descriptors, job tuples, per-thread DP
-// buffers (tier-aware), result slots, and — with traceback on — one
-// shared trace-arena allowance covering the tile's worst extension.
+// buffers (tier-aware), result slots, and — with traceback on — the
+// direction-arena charges. Replay-path extensions share one serialized
+// arena sized for the tile's worst such extension; fused-path extensions
+// record concurrently on every thread, so their worst arena is charged
+// once per thread. Kept in lockstep with partition.DeriveSeqBudget.
 func (c Config) TileMemoryBytes(t *TileWork, model platform.IPUModel) int {
 	cc := c.withDefaults(model)
-	maxMin, maxTrace := 0, 0
+	maxMin, maxReplay, maxFused := 0, 0, 0
 	for _, j := range t.Jobs {
 		hn, vn := int(t.Seqs[j.HLocal].Len), int(t.Seqs[j.VLocal].Len)
 		// The larger extension side bounds δ for this job.
@@ -374,18 +430,43 @@ func (c Config) TileMemoryBytes(t *TileWork, model platform.IPUModel) int {
 		r := min(rh, rv)
 		maxMin = max(maxMin, l, r)
 		if cc.Traceback {
-			maxTrace = max(maxTrace,
-				cc.ExtensionTraceBytes(j.SeedH, j.SeedV),
-				cc.ExtensionTraceBytes(rh, rv))
+			lf, lr := cc.extensionTraceCharge(j.SeedH, j.SeedV)
+			rf, rr := cc.extensionTraceCharge(rh, rv)
+			maxFused = max(maxFused, lf, rf)
+			maxReplay = max(maxReplay, lr, rr)
 		}
 	}
 	return t.SeqBytes() +
 		len(t.Seqs)*seqDescrBytes +
 		len(t.Jobs)*JobTupleBytes +
 		cc.Threads*cc.WorkBufBytesPerThread(maxMin) +
-		maxTrace +
+		cc.Threads*maxFused +
+		maxReplay +
 		len(t.Jobs)*ResultBytes +
 		batchHdrBytes
+}
+
+// extensionTraceCharge splits one extension's direction-arena bound into
+// the fused (per-thread) or replay (shared serialized arena) pool,
+// according to where the kernel would actually record it.
+func (c Config) extensionTraceCharge(lh, lv int) (fused, replay int) {
+	b := c.ExtensionTraceBytes(lh, lv)
+	if b == 0 {
+		return 0, 0
+	}
+	if c.fusedExtension(lh, lv) {
+		return b, 0
+	}
+	return 0, b
+}
+
+// TraceCharges reports one extension's direction-arena charge split into
+// the fused (per-thread) and replay (shared serialized) pools — the same
+// split TileMemoryBytes applies; at most one of the two is nonzero.
+// Exported for partition's budget math, which must mirror the gate
+// exactly or admitted tiles could lose their SRAM certification.
+func (c Config) TraceCharges(lh, lv int) (fused, replay int) {
+	return c.extensionTraceCharge(lh, lv)
 }
 
 // AlignOut is one comparison's result.
@@ -475,6 +556,15 @@ type BatchResult struct {
 	NarrowExtensions   int
 	WideExtensions     int
 	PromotedExtensions int
+	// Traceback-gate accounting, one count per executed extension (an
+	// extension is either traced or skipped, never both; both are zero
+	// with Config.Traceback off). TracedExtensions recorded and delivered
+	// a direction trace (fused or replayed); TraceSkippedExtensions were
+	// score-gated below Config.TraceMinScore and returned score-only
+	// results. Extensions of comparisons degraded by a trace-overflow
+	// failure count in neither.
+	TracedExtensions       int
+	TraceSkippedExtensions int
 }
 
 // GCUPSDenominatorSeconds returns on-device compute seconds — the time
@@ -530,6 +620,8 @@ func Run(dev *ipu.Device, b *Batch, cfg Config) (*BatchResult, error) {
 		narrowExt    int
 		wideExt      int
 		promotedExt  int
+		tracedExt    int
+		skippedExt   int
 		err          error
 	}
 	stats := make([]tileStats, len(b.Tiles))
@@ -585,6 +677,8 @@ func Run(dev *ipu.Device, b *Batch, cfg Config) (*BatchResult, error) {
 				st.narrowExt = tr.narrowExt
 				st.wideExt = tr.wideExt
 				st.promotedExt = tr.promotedExt
+				st.tracedExt = tr.tracedExt
+				st.skippedExt = tr.skippedExt
 				st.err = tr.err
 			}
 		}()
@@ -614,6 +708,8 @@ func Run(dev *ipu.Device, b *Batch, cfg Config) (*BatchResult, error) {
 		res.NarrowExtensions += st.narrowExt
 		res.WideExtensions += st.wideExt
 		res.PromotedExtensions += st.promotedExt
+		res.TracedExtensions += st.tracedExt
+		res.TraceSkippedExtensions += st.skippedExt
 		if st.sram > maxSRAM {
 			maxSRAM = st.sram
 		}

@@ -1,6 +1,7 @@
 package ipukernel
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -34,19 +35,25 @@ type tileResult struct {
 	// Traceback accounting (zero with Config.Traceback off): peakTrace is
 	// the largest single-extension direction-trace footprint any simulated
 	// thread held; traceBytes sums recorded trace storage; cigarBytes is
-	// the encoded CIGAR payload added to the result transfer.
+	// the encoded CIGAR payload added to the result transfer; tracedExt
+	// and skippedExt count extensions that delivered a trace vs. ones the
+	// score gate skipped.
 	peakTrace  int
 	traceBytes int64
 	cigarBytes int64
+	tracedExt  int
+	skippedExt int
 	// Kernel-tier accounting per executed extension (disjoint): completed
 	// on the int16 tier, saturated-and-promoted to int32, or ran int32
 	// outright.
 	narrowExt   int
 	wideExt     int
 	promotedExt int
-	// err records a traceback divergence (replay not bit-matching the
+	// err records a traceback divergence (recording not bit-matching the
 	// score pass) — a kernel bug surfaced loudly instead of shipping a
-	// wrong alignment.
+	// wrong alignment. A trace-overflow (core.ErrTraceTooLarge) is not a
+	// kernel bug: it degrades its one comparison to a Failed placeholder
+	// instead of landing here.
 	err error
 }
 
@@ -61,9 +68,16 @@ type executor struct {
 	tied  []int
 	// Per-job traceback scratch (sized only when Config.Traceback is on):
 	// each side's sequence-forward Cigar and trace footprint, combined
-	// with the seed columns once the tile's units have all run.
+	// with the seed columns once the tile's units have all run; failed
+	// marks jobs whose trace recording overflowed (degraded to a Failed
+	// placeholder). Under the score gate the score-pass Result and the
+	// scoring thread of each side are kept so the deferred replay can
+	// cross-check and charge the right thread.
 	leftC, rightC   []alignment.Cigar
 	leftTB, rightTB []int
+	leftR, rightR   []core.Result
+	leftTh, rightTh []int
+	failed          []bool
 }
 
 var execPool = sync.Pool{New: func() any { return &executor{} }}
@@ -105,8 +119,27 @@ func (ex *executor) prepareTraces(jobs int) {
 		clear(n)
 		return n
 	}
+	growR := func(r []core.Result) []core.Result {
+		if cap(r) < jobs {
+			return make([]core.Result, jobs)
+		}
+		r = r[:jobs]
+		clear(r)
+		return r
+	}
+	growB := func(b []bool) []bool {
+		if cap(b) < jobs {
+			return make([]bool, jobs)
+		}
+		b = b[:jobs]
+		clear(b)
+		return b
+	}
 	ex.leftC, ex.rightC = grow(ex.leftC), grow(ex.rightC)
 	ex.leftTB, ex.rightTB = growN(ex.leftTB), growN(ex.rightTB)
+	ex.leftR, ex.rightR = growR(ex.leftR), growR(ex.rightR)
+	ex.leftTh, ex.rightTh = growN(ex.leftTh), growN(ex.rightTh)
+	ex.failed = growB(ex.failed)
 }
 
 // runTile executes all of a tile's jobs on the configured number of
@@ -120,6 +153,11 @@ func (ex *executor) prepareTraces(jobs int) {
 // list; steals by threads whose counters collide grab the same unit — a
 // race that duplicates work. Eventual work stealing adds a thread-unique
 // busy-wait on collision so subsequent steals diverge.
+//
+// With traceback gated (Config.TraceMinScore), the scheduling loop runs
+// score-only and the replays of above-cutoff comparisons are deferred to
+// a second phase, charged to the threads that scored the sides — the
+// skipped comparisons pay nothing beyond the score pass.
 func runTile(t *TileWork, cfg Config, ex *executor, out []AlignOut) tileResult {
 	threads := cfg.Threads
 	var tr tileResult
@@ -215,6 +253,37 @@ func runTile(t *TileWork, cfg Config, ex *executor, out []AlignOut) tileResult {
 		}
 	}
 
+	// Deferred gated replays: with the score gate active the scheduling
+	// loop recorded nothing, so replay the above-cutoff comparisons now,
+	// each side on the thread that scored it. The replays append to those
+	// threads' deterministic counters before the superstep maximum is
+	// taken — the modeled schedule runs them after the score pass drains.
+	if cfg.traceGated() && tr.err == nil {
+		for j := range t.Jobs {
+			if ex.failed[j] {
+				continue
+			}
+			job := &t.Jobs[j]
+			h, v := t.Seq(job.HLocal), t.Seq(job.VLocal)
+			seed := core.Seed{H: job.SeedH, V: job.SeedV, Len: job.SeedLen}
+			o := &out[j]
+			if o.LeftScore+core.SeedScore(h, v, seed, cfg.Params)+o.RightScore < cfg.TraceMinScore {
+				continue
+			}
+			lth := ex.leftTh[j]
+			trc, err := ex.ws[lth].TracebackLeft(h, v, job.SeedH, job.SeedV, cfg.Params)
+			instr[lth] += recordTrace(trc, err, &ex.leftR[j], "left", job.GlobalID,
+				&ex.leftC[j], &ex.leftTB[j], &ex.failed[j], &tr, cfg)
+			if ex.failed[j] || tr.err != nil {
+				continue
+			}
+			rth := ex.rightTh[j]
+			trc, err = ex.ws[rth].TracebackRight(h, v, job.SeedH+job.SeedLen, job.SeedV+job.SeedLen, cfg.Params)
+			instr[rth] += recordTrace(trc, err, &ex.rightR[j], "right", job.GlobalID,
+				&ex.rightC[j], &ex.rightTB[j], &ex.failed[j], &tr, cfg)
+		}
+	}
+
 	for th := 0; th < threads; th++ {
 		if instr[th] > tr.maxInstr {
 			tr.maxInstr = instr[th]
@@ -238,19 +307,35 @@ func runTile(t *TileWork, cfg Config, ex *executor, out []AlignOut) tileResult {
 			tr.skippedCells += int64(f-1) * int64(len(h)) * int64(len(v))
 			tr.skippedJobs += f - 1
 		}
-		if cfg.Traceback && tr.err == nil {
-			// Bridge the seed's own columns between the two extension
-			// CIGARs (both already in sequence-forward order).
-			full, err := alignment.Concat(ex.leftC[j], core.SeedCigar(h, v, seed), ex.rightC[j])
-			if err != nil {
-				tr.err = fmt.Errorf("ipukernel: comparison %d cigar: %w", job.GlobalID, err)
-				continue
-			}
-			o.Cigar = full
-			o.TraceBytes = ex.leftTB[j] + ex.rightTB[j]
-			tr.traceBytes += int64(o.TraceBytes)
-			tr.cigarBytes += int64(full.WireBytes())
+		if !cfg.Traceback || tr.err != nil {
+			continue
 		}
+		if ex.failed[j] {
+			// The trace recording overflowed: degrade this one
+			// comparison to the PR 6 placeholder (GlobalID valid,
+			// everything else zero) instead of poisoning the batch.
+			// AssemblePlan never caches Failed results.
+			*o = AlignOut{GlobalID: o.GlobalID, Failed: true}
+			continue
+		}
+		if cfg.TraceMinScore > 0 && o.Score < cfg.TraceMinScore {
+			// Score-gated: deliver the score-only result, bit-identical
+			// to a traceback-off run's.
+			tr.skippedExt += 2
+			continue
+		}
+		// Bridge the seed's own columns between the two extension
+		// CIGARs (both already in sequence-forward order).
+		full, err := alignment.Concat(ex.leftC[j], core.SeedCigar(h, v, seed), ex.rightC[j])
+		if err != nil {
+			tr.err = fmt.Errorf("ipukernel: comparison %d cigar: %w", job.GlobalID, err)
+			continue
+		}
+		o.Cigar = full
+		o.TraceBytes = ex.leftTB[j] + ex.rightTB[j]
+		tr.traceBytes += int64(o.TraceBytes)
+		tr.cigarBytes += int64(full.WireBytes())
+		tr.tracedExt += 2
 	}
 	return tr
 }
@@ -270,9 +355,11 @@ func stealJitter(th, n int) int64 {
 
 // runUnit executes one unit's extension(s), records results and traces,
 // and returns the charged instruction cost. With Config.Traceback each
-// side also runs the recording replay (the second pass of the two-pass
-// scheme), charged like another DP sweep; the replay must bit-match the
-// score pass or the tile fails loudly.
+// side either fuses direction recording into the scoring pass (one sweep)
+// or runs the recording replay after it (the two-pass scheme, charged
+// like another DP sweep); with the score gate active it only remembers
+// which thread scored the side, for the deferred replay phase. A
+// recording must bit-match the score pass or the tile fails loudly.
 func runUnit(t *TileWork, cfg Config, ex *executor, th int, u unit, out []AlignOut, tr *tileResult) int64 {
 	job := &t.Jobs[u.job]
 	h, v := t.Seq(job.HLocal), t.Seq(job.VLocal)
@@ -282,52 +369,103 @@ func runUnit(t *TileWork, cfg Config, ex *executor, th int, u unit, out []AlignO
 	var cost int64
 	doLeft := u.side == sideBoth || u.side == sideLeft
 	doRight := u.side == sideBoth || u.side == sideRight
+	gated := cfg.traceGated()
 
 	if doLeft {
-		r := ws.ExtendLeft(h, v, job.SeedH, job.SeedV, cfg.Params)
-		o.LeftScore = r.Score
-		o.BegH = job.SeedH - r.EndH
-		o.BegV = job.SeedV - r.EndV
-		cost += instrCost(cfg, r.Stats)
-		accumulate(o, tr, r.Stats)
-		if cfg.Traceback {
-			trc, err := ws.TracebackLeft(h, v, job.SeedH, job.SeedV, cfg.Params)
-			cost += recordTrace(trc, err, &r, "left", job.GlobalID,
-				&ex.leftC[u.job], &ex.leftTB[u.job], tr, cfg)
+		if cfg.Traceback && !gated && cfg.fusedExtension(job.SeedH, job.SeedV) {
+			r, trc, err := ws.FusedExtendLeft(h, v, job.SeedH, job.SeedV, cfg.Params)
+			if err != nil {
+				failTrace(err, &ex.failed[u.job], tr)
+			} else {
+				o.LeftScore = r.Score
+				o.BegH = job.SeedH - r.EndH
+				o.BegV = job.SeedV - r.EndV
+				cost += instrCost(cfg, r.Stats)
+				accumulate(o, tr, r.Stats)
+				storeTrace(trc, &ex.leftC[u.job], &ex.leftTB[u.job], tr)
+			}
+		} else {
+			r := ws.ExtendLeft(h, v, job.SeedH, job.SeedV, cfg.Params)
+			o.LeftScore = r.Score
+			o.BegH = job.SeedH - r.EndH
+			o.BegV = job.SeedV - r.EndV
+			cost += instrCost(cfg, r.Stats)
+			accumulate(o, tr, r.Stats)
+			if cfg.Traceback {
+				if gated {
+					ex.leftR[u.job], ex.leftTh[u.job] = r, th
+				} else {
+					trc, err := ws.TracebackLeft(h, v, job.SeedH, job.SeedV, cfg.Params)
+					cost += recordTrace(trc, err, &r, "left", job.GlobalID,
+						&ex.leftC[u.job], &ex.leftTB[u.job], &ex.failed[u.job], tr, cfg)
+				}
+			}
 		}
 	}
 	if doRight {
-		r := ws.ExtendRight(h, v, job.SeedH+job.SeedLen, job.SeedV+job.SeedLen, cfg.Params)
-		o.RightScore = r.Score
-		o.EndH = job.SeedH + job.SeedLen + r.EndH
-		o.EndV = job.SeedV + job.SeedLen + r.EndV
-		cost += instrCost(cfg, r.Stats)
-		accumulate(o, tr, r.Stats)
-		if cfg.Traceback {
-			trc, err := ws.TracebackRight(h, v, job.SeedH+job.SeedLen, job.SeedV+job.SeedLen, cfg.Params)
-			cost += recordTrace(trc, err, &r, "right", job.GlobalID,
-				&ex.rightC[u.job], &ex.rightTB[u.job], tr, cfg)
+		rh := len(h) - job.SeedH - job.SeedLen
+		rv := len(v) - job.SeedV - job.SeedLen
+		if cfg.Traceback && !gated && cfg.fusedExtension(rh, rv) {
+			r, trc, err := ws.FusedExtendRight(h, v, job.SeedH+job.SeedLen, job.SeedV+job.SeedLen, cfg.Params)
+			if err != nil {
+				failTrace(err, &ex.failed[u.job], tr)
+			} else {
+				o.RightScore = r.Score
+				o.EndH = job.SeedH + job.SeedLen + r.EndH
+				o.EndV = job.SeedV + job.SeedLen + r.EndV
+				cost += instrCost(cfg, r.Stats)
+				accumulate(o, tr, r.Stats)
+				storeTrace(trc, &ex.rightC[u.job], &ex.rightTB[u.job], tr)
+			}
+		} else {
+			r := ws.ExtendRight(h, v, job.SeedH+job.SeedLen, job.SeedV+job.SeedLen, cfg.Params)
+			o.RightScore = r.Score
+			o.EndH = job.SeedH + job.SeedLen + r.EndH
+			o.EndV = job.SeedV + job.SeedLen + r.EndV
+			cost += instrCost(cfg, r.Stats)
+			accumulate(o, tr, r.Stats)
+			if cfg.Traceback {
+				if gated {
+					ex.rightR[u.job], ex.rightTh[u.job] = r, th
+				} else {
+					trc, err := ws.TracebackRight(h, v, job.SeedH+job.SeedLen, job.SeedV+job.SeedLen, cfg.Params)
+					cost += recordTrace(trc, err, &r, "right", job.GlobalID,
+						&ex.rightC[u.job], &ex.rightTB[u.job], &ex.failed[u.job], tr, cfg)
+				}
+			}
 		}
 	}
 	return cost
 }
 
+// failTrace routes a recording error: a trace overflow degrades its one
+// comparison (Failed placeholder), anything else is a kernel bug and
+// fails the batch loudly.
+func failTrace(err error, failed *bool, tr *tileResult) {
+	if errors.Is(err, core.ErrTraceTooLarge) {
+		*failed = true
+		return
+	}
+	if tr.err == nil {
+		tr.err = err
+	}
+}
+
 // recordTrace cross-checks one side's traceback replay against the
 // score-pass result and stores the side's CIGAR and trace footprint in
 // the executor scratch. It returns the extra instruction cost charged
-// for the replay (one more DP sweep), or 0 on failure — a replay error
-// or divergence lands in tr.err and fails the batch loudly rather than
-// shipping a wrong alignment.
+// for the replay (one more DP sweep), or 0 on failure — a trace overflow
+// degrades the one comparison via failed, while a divergence or corrupt
+// trace lands in tr.err and fails the batch loudly rather than shipping
+// a wrong alignment.
 func recordTrace(trc core.Trace, err error, r *core.Result, side string, id int,
-	cigar *alignment.Cigar, traceBytes *int, tr *tileResult, cfg Config) int64 {
+	cigar *alignment.Cigar, traceBytes *int, failed *bool, tr *tileResult, cfg Config) int64 {
 	if err == nil && (trc.Score != r.Score || trc.EndH != r.EndH || trc.EndV != r.EndV) {
 		err = fmt.Errorf("ipukernel: %s traceback of comparison %d diverged: replay (%d,%d,%d) vs kernel (%d,%d,%d)",
 			side, id, trc.Score, trc.EndH, trc.EndV, r.Score, r.EndH, r.EndV)
 	}
 	if err != nil {
-		if tr.err == nil {
-			tr.err = err
-		}
+		failTrace(err, failed, tr)
 		return 0
 	}
 	*cigar = trc.Cigar
@@ -336,6 +474,17 @@ func recordTrace(trc core.Trace, err error, r *core.Result, side string, id int,
 		tr.peakTrace = trc.TraceBytes
 	}
 	return instrCost(cfg, r.Stats)
+}
+
+// storeTrace records a fused recording's CIGAR and trace footprint (the
+// fused kernel already cross-checked itself: its Result and Trace come
+// from the same sweep).
+func storeTrace(trc core.Trace, cigar *alignment.Cigar, traceBytes *int, tr *tileResult) {
+	*cigar = trc.Cigar
+	*traceBytes = trc.TraceBytes
+	if trc.TraceBytes > tr.peakTrace {
+		tr.peakTrace = trc.TraceBytes
+	}
 }
 
 func accumulate(o *AlignOut, tr *tileResult, s core.Stats) {

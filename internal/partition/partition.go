@@ -260,23 +260,24 @@ func MaxMinExtension(d *workload.Dataset) int {
 	return mm
 }
 
-// maxTraceAllowance returns the per-tile trace-arena allowance the
-// kernel SRAM model charges for the dataset's worst single extension —
-// zero with traceback off. Kept in lockstep with TileMemoryBytes so a
-// budget derived here always admits tiles the gate accepts.
-func maxTraceAllowance(d *workload.Dataset, cfg ipukernel.Config) int {
+// traceAllowances returns the per-tile trace-arena allowances the kernel
+// SRAM model charges for the dataset's worst single extension in each
+// recording pool — fused (charged once per thread) and replay (one
+// shared serialized arena) — both zero with traceback off. Kept in
+// lockstep with TileMemoryBytes so a budget derived here always admits
+// tiles the gate accepts.
+func traceAllowances(d *workload.Dataset, cfg ipukernel.Config) (fused, replay int) {
 	if !cfg.Traceback {
-		return 0
+		return 0, 0
 	}
 	arena, plan := d.Spine()
 	refs := arena.Refs()
-	mt := 0
 	for ci := 0; ci < plan.Len(); ci++ {
-		if v := cmpMaxTrace(refs, plan.At(ci), cfg); v > mt {
-			mt = v
-		}
+		f, r := cmpTraceCharges(refs, plan.At(ci), cfg)
+		fused = max(fused, f)
+		replay = max(replay, r)
 	}
-	return mt
+	return fused, replay
 }
 
 // DeriveSeqBudget computes the per-partition sequence budget for a dataset
@@ -293,7 +294,9 @@ func DeriveSeqBudget(d *workload.Dataset, cfg ipukernel.Config, model platform.I
 		threads = model.ThreadsPerTile
 	}
 	const allowance = 8 * 1024
-	bufs := threads*cfg.WorkBufBytesPerThread(MaxMinExtension(d)) + maxTraceAllowance(d, cfg)
+	fusedA, replayA := traceAllowances(d, cfg)
+	bufs := threads*cfg.WorkBufBytesPerThread(MaxMinExtension(d)) +
+		threads*fusedA + replayA
 	budget := model.DataSRAM() - bufs - allowance
 	if budget <= 0 {
 		return 0, fmt.Errorf(
@@ -310,12 +313,13 @@ func DeriveSeqBudget(d *workload.Dataset, cfg ipukernel.Config, model platform.I
 // execution attempt from the arena's pinned slab set (Batch.Bound), so
 // building batches never forces spilled slabs resident.
 type tileBuilder struct {
-	work     ipukernel.TileWork
-	localIdx map[int]int
-	load     float64
-	seqBytes int
-	maxMin   int
-	maxTrace int
+	work      ipukernel.TileWork
+	localIdx  map[int]int
+	load      float64
+	seqBytes  int
+	maxMin    int
+	maxFused  int
+	maxReplay int
 }
 
 func newTileBuilder() *tileBuilder {
@@ -332,7 +336,7 @@ func (tb *tileBuilder) memoryWith(refs []workload.SeqRef, plan *workload.Plan, i
 		}
 	}
 	nJobs := len(tb.work.Jobs) + len(it.Cmps)
-	maxMin, maxTrace := tb.maxMin, tb.maxTrace
+	maxMin, maxFused, maxReplay := tb.maxMin, tb.maxFused, tb.maxReplay
 	// Same comparison source as add(): admission and placement must
 	// agree on seed geometry.
 	for _, ci := range it.Cmps {
@@ -340,12 +344,13 @@ func (tb *tileBuilder) memoryWith(refs []workload.SeqRef, plan *workload.Plan, i
 		if mm := cmpMaxMin(refs, c); mm > maxMin {
 			maxMin = mm
 		}
-		if mt := cmpMaxTrace(refs, c, cfg); mt > maxTrace {
-			maxTrace = mt
-		}
+		f, r := cmpTraceCharges(refs, c, cfg)
+		maxFused = max(maxFused, f)
+		maxReplay = max(maxReplay, r)
 	}
 	return seqBytes + nSeqs*8 + nJobs*ipukernel.JobTupleBytes +
-		threads*cfg.WorkBufBytesPerThread(maxMin) + maxTrace +
+		threads*cfg.WorkBufBytesPerThread(maxMin) +
+		threads*maxFused + maxReplay +
 		nJobs*ipukernel.ResultBytes + 64
 }
 
@@ -359,14 +364,16 @@ func cmpMaxMin(refs []workload.SeqRef, c workload.Comparison) int {
 	return max(min(c.SeedH, c.SeedV), min(rh, rv))
 }
 
-// cmpMaxTrace is the traceback analogue of cmpMaxMin: the larger of the
-// two extensions' direction-trace allowances under the kernel's bound
-// (zero with traceback off).
-func cmpMaxTrace(refs []workload.SeqRef, c workload.Comparison, cfg ipukernel.Config) int {
+// cmpTraceCharges is the traceback analogue of cmpMaxMin: the larger of
+// the two extensions' direction-trace allowances under the kernel's
+// bound, split into the fused (per-thread) and replay (shared) pools the
+// way the kernel would record each side (both zero with traceback off).
+func cmpTraceCharges(refs []workload.SeqRef, c workload.Comparison, cfg ipukernel.Config) (fused, replay int) {
 	rh := int(refs[c.H].Len) - c.SeedH - c.SeedLen
 	rv := int(refs[c.V].Len) - c.SeedV - c.SeedLen
-	return max(cfg.ExtensionTraceBytes(c.SeedH, c.SeedV),
-		cfg.ExtensionTraceBytes(rh, rv))
+	lf, lr := cfg.TraceCharges(c.SeedH, c.SeedV)
+	rf, rr := cfg.TraceCharges(rh, rv)
+	return max(lf, rf), max(lr, rr)
 }
 
 func (tb *tileBuilder) add(refs []workload.SeqRef, plan *workload.Plan, it *Item, cfg ipukernel.Config, fanout []int32) {
@@ -392,9 +399,9 @@ func (tb *tileBuilder) add(refs []workload.SeqRef, plan *workload.Plan, it *Item
 		if mm := cmpMaxMin(refs, c); mm > tb.maxMin {
 			tb.maxMin = mm
 		}
-		if mt := cmpMaxTrace(refs, c, cfg); mt > tb.maxTrace {
-			tb.maxTrace = mt
-		}
+		f, r := cmpTraceCharges(refs, c, cfg)
+		tb.maxFused = max(tb.maxFused, f)
+		tb.maxReplay = max(tb.maxReplay, r)
 	}
 	tb.load += it.Cost
 }

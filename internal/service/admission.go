@@ -59,7 +59,15 @@ func (s *Server) admitTenant(name string) (bool, time.Duration) {
 	}
 	ts.RateLimited++
 	need := (1 - ts.tokens) / s.cfg.TenantRatePerSec
-	return false, time.Duration(need * float64(time.Second))
+	d := time.Duration(need * float64(time.Second))
+	// High refill rates derive sub-second waits, which truncate to a
+	// 0-second Retry-After header and hot-loop shed clients. Clamp at
+	// the source so the header, the error body and every other consumer
+	// agree on a positive wait.
+	if d < time.Second {
+		d = time.Second
+	}
+	return false, d
 }
 
 func (s *Server) tenantShed(name string) {

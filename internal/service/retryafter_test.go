@@ -1,0 +1,55 @@
+// White-box regression test for the 0-second Retry-After bug: a
+// high-refill tenant bucket derives a sub-second wait, which used to
+// truncate to a "Retry-After: 0" header and hot-loop shed clients.
+
+package service
+
+import (
+	"testing"
+	"time"
+
+	"github.com/sram-align/xdropipu/internal/engine"
+)
+
+// TestAdmitTenantRefusalAlwaysAtLeastOneSecond drains a burst-1 bucket
+// at a refill rate fast enough that the raw token arithmetic yields a
+// millisecond-scale wait, and asserts every refusal still reports at
+// least one full second.
+func TestAdmitTenantRefusalAlwaysAtLeastOneSecond(t *testing.T) {
+	s := &Server{
+		cfg:     Config{TenantRatePerSec: 500, TenantBurst: 1},
+		tenants: make(map[string]*tenantState),
+	}
+	ok, d := s.admitTenant("hot")
+	if !ok || d != 0 {
+		t.Fatalf("first draw refused: ok=%v d=%v", ok, d)
+	}
+	refused := 0
+	for i := 0; i < 50; i++ {
+		ok, d := s.admitTenant("hot")
+		if ok {
+			continue
+		}
+		refused++
+		if d < time.Second {
+			t.Fatalf("refusal %d derived a sub-second Retry-After: %v", i, d)
+		}
+	}
+	if refused == 0 {
+		t.Fatal("bucket at 500/s burst 1 never refused; test exercised nothing")
+	}
+}
+
+// TestRetryAfterFromStatsPositive: the shed-path derivation must also
+// stay ≥1s even when the shard is barely over (or under) its threshold.
+func TestRetryAfterFromStatsPositive(t *testing.T) {
+	for _, live := range []int{0, 1, 7, 8, 9, 100} {
+		d := retryAfterFromStats(engine.Stats{JobsLive: live}, 8)
+		if d < time.Second {
+			t.Fatalf("JobsLive=%d: Retry-After %v below one second", live, d)
+		}
+		if d > 30*time.Second {
+			t.Fatalf("JobsLive=%d: Retry-After %v above the 30s cap", live, d)
+		}
+	}
+}

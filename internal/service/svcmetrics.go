@@ -73,6 +73,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		tot.NarrowExtensions += sn.NarrowExtensions
 		tot.WideExtensions += sn.WideExtensions
 		tot.PromotedExtensions += sn.PromotedExtensions
+		tot.TracedExtensions += sn.TracedExtensions
+		tot.TraceSkippedExtensions += sn.TraceSkippedExtensions
 		tot.Retries += sn.Retries
 		tot.Hedges += sn.Hedges
 		tot.Quarantined += sn.Quarantined
@@ -138,6 +140,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	narrow := counter("xdropipu_engine_narrow_extensions_total", "Extensions completed on the int16 kernel tier per shard.")
 	wide := counter("xdropipu_engine_wide_extensions_total", "Extensions executed on the int32 kernel tier per shard.")
 	promoted := counter("xdropipu_engine_promoted_extensions_total", "Extensions that saturated int16 and re-ran int32 per shard.")
+	traced := counter("xdropipu_engine_traced_extensions_total", "Extensions that delivered a recorded traceback per shard.")
+	traceSkipped := counter("xdropipu_engine_trace_skipped_extensions_total", "Extensions the traceback score gate skipped per shard.")
 	retries := counter("xdropipu_engine_retries_total", "Batch retries after transient faults per shard.")
 	hedges := counter("xdropipu_engine_hedges_total", "Hedged duplicate executions per shard.")
 	quarantined := counter("xdropipu_engine_quarantined_total", "Batches completed degraded per shard.")
@@ -161,6 +165,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		narrow.Add(float64(sn.NarrowExtensions), "shard", l)
 		wide.Add(float64(sn.WideExtensions), "shard", l)
 		promoted.Add(float64(sn.PromotedExtensions), "shard", l)
+		traced.Add(float64(sn.TracedExtensions), "shard", l)
+		traceSkipped.Add(float64(sn.TraceSkippedExtensions), "shard", l)
 		retries.Add(float64(sn.Retries), "shard", l)
 		hedges.Add(float64(sn.Hedges), "shard", l)
 		quarantined.Add(float64(sn.Quarantined), "shard", l)
@@ -202,7 +208,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	metrics.WriteProm(w, []metrics.PromFamily{
 		jobsDone, batches, cells, live, inflight, depth, occ,
 		hits, misses, evict, cbytes, hitRate,
-		narrow, wide, promoted,
+		narrow, wide, promoted, traced, traceSkipped,
 		retries, hedges, quarantined, faults, deadlines,
 		submitted, completed, failed, cancelled, shed, limited, tliv,
 		trackedG,

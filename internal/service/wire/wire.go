@@ -433,6 +433,8 @@ type ReportSummary struct {
 	NarrowExtensions        int     `json:"narrowExtensions"`
 	WideExtensions          int     `json:"wideExtensions"`
 	PromotedExtensions      int     `json:"promotedExtensions"`
+	TracedExtensions        int     `json:"tracedExtensions"`
+	TraceSkippedExtensions  int     `json:"traceSkippedExtensions"`
 }
 
 // Summarize extracts a report's scalar fields.
@@ -458,6 +460,8 @@ func Summarize(rep *driver.Report) ReportSummary {
 		NarrowExtensions:        rep.NarrowExtensions,
 		WideExtensions:          rep.WideExtensions,
 		PromotedExtensions:      rep.PromotedExtensions,
+		TracedExtensions:        rep.TracedExtensions,
+		TraceSkippedExtensions:  rep.TraceSkippedExtensions,
 	}
 }
 
@@ -485,6 +489,8 @@ func (s ReportSummary) Report(results []ipukernel.AlignOut) *driver.Report {
 		NarrowExtensions:        s.NarrowExtensions,
 		WideExtensions:          s.WideExtensions,
 		PromotedExtensions:      s.PromotedExtensions,
+		TracedExtensions:        s.TracedExtensions,
+		TraceSkippedExtensions:  s.TraceSkippedExtensions,
 	}
 }
 

@@ -426,13 +426,20 @@ func (c *Client) sleep(ctx context.Context, attempt int, lastErr error) error {
 	}
 }
 
+// parseRetryAfter returns the refusal's Retry-After hint, or 0 when the
+// server sent none. A header that is present but unparseable or
+// non-positive still means "back off" — it is clamped to one second
+// rather than discarded, so a server that derives a 0-second wait can
+// never make the jittered fallback hot-loop in the millisecond range.
 func parseRetryAfter(resp *http.Response) time.Duration {
-	if s := resp.Header.Get("Retry-After"); s != "" {
-		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
-			return time.Duration(secs) * time.Second
-		}
+	s := resp.Header.Get("Retry-After")
+	if s == "" {
+		return 0
 	}
-	return 0
+	if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return time.Second
 }
 
 // drainError reads a refused response's JSON {"error": …} body (or raw

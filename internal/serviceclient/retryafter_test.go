@@ -1,0 +1,45 @@
+// White-box regression tests for the 0-second Retry-After bug: a server
+// that derives a sub-second wait truncates the header to "0", and the
+// client used to treat that as "no hint" and fall back to millisecond
+// jitter — a hot retry loop against an already-refusing server.
+
+package serviceclient
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfterAlwaysPositive: whenever a Retry-After header is
+// present the parsed backoff must be positive — a zero, negative or
+// unparseable value still means "back off", clamped to one second. Only
+// an absent header yields 0 (falling back to jittered backoff).
+func TestParseRetryAfterAlwaysPositive(t *testing.T) {
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", 0},
+		{"0", time.Second},
+		{"-2", time.Second},
+		{"junk", time.Second},
+		{"1.5", time.Second},
+		{"1", time.Second},
+		{"5", 5 * time.Second},
+		{"30", 30 * time.Second},
+	}
+	for _, tc := range cases {
+		resp := &http.Response{Header: http.Header{}}
+		if tc.header != "" {
+			resp.Header.Set("Retry-After", tc.header)
+		}
+		got := parseRetryAfter(resp)
+		if got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+		if tc.header != "" && got <= 0 {
+			t.Errorf("parseRetryAfter(%q) = %v: present header must parse positive", tc.header, got)
+		}
+	}
+}

@@ -84,6 +84,23 @@ const (
 	TierAuto = core.TierAuto
 )
 
+// TraceMode selects how traced comparisons record their direction codes.
+type TraceMode = core.TraceMode
+
+// Trace modes. Fused and replayed recordings are bit-identical; the
+// modes differ in SRAM charging and modeled time.
+const (
+	// TraceModeAuto fuses recording into the scoring pass whenever the
+	// extension's direction arena fits the per-thread budget, and
+	// replays otherwise (the default).
+	TraceModeAuto = core.TraceModeAuto
+	// TraceModeReplay always records through the two-pass replay.
+	TraceModeReplay = core.TraceModeReplay
+	// TraceModeFused forces single-pass recording wherever the kernel
+	// is eligible.
+	TraceModeFused = core.TraceModeFused
+)
+
 // Align runs one semi-global X-Drop extension of h against v.
 func Align(h, v []byte, p Params) Result {
 	return core.Align(core.NewView(h), core.NewView(v), p)
@@ -335,6 +352,18 @@ var (
 	// WithTraceback enables CIGAR emission for every job: results carry
 	// their edit scripts and reports expose peak traceback memory.
 	WithTraceback = engine.WithTraceback
+	// WithTraceMinScore gates traceback behind a score cutoff:
+	// comparisons scoring below it deliver score-only results and skip
+	// the recording cost entirely — hit-sparse pipelines pay traceback
+	// only for the alignments they keep. Traced/skipped counters
+	// surface in EngineStats and every report.
+	WithTraceMinScore = engine.WithTraceMinScore
+	// WithTraceMode selects the recording strategy for traced
+	// comparisons (TraceModeAuto, TraceModeReplay, TraceModeFused).
+	// Fused single-pass recording and the two-pass replay produce
+	// bit-identical alignments; they differ in SRAM charging and
+	// modeled time.
+	WithTraceMode = engine.WithTraceMode
 	// WithKernelTier selects the DP arithmetic width (TierWide,
 	// TierNarrow, TierAuto). Results are bit-identical across tiers;
 	// TierAuto halves the per-thread DP working set whenever the
